@@ -1,0 +1,28 @@
+"""Shared plumbing for the benchmark suite.
+
+Every ``bench_*.py`` regenerates one of the paper's evaluation
+artifacts (DESIGN.md Section 4).  Conventions:
+
+* each bench test **asserts the paper's shape claim** (slopes,
+  thresholds, orderings), so ``pytest benchmarks/ --benchmark-only``
+  doubles as a reproduction check;
+* each bench **writes its table** to ``benchmarks/results/<name>.txt``
+  (and prints it, visible with ``-s``) — EXPERIMENTS.md links these;
+* the ``benchmark`` fixture times one representative run so
+  pytest-benchmark's wall-clock table stays meaningful.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(name: str, *sections: str) -> str:
+    """Write the bench's report to ``results/<name>.txt`` and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = "\n\n".join(sections) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(body)
+    print(f"\n=== {name} ===\n{body}")
+    return body

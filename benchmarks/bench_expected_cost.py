@@ -1,0 +1,84 @@
+"""The "practically common runs" experiment (the paper's motivation).
+
+Sections 1/4: systems rarely exhibit worst-case crash patterns, so a
+protocol whose cost adapts to the *actual* failures wins in
+expectation.  We model each process crashing independently with
+probability ``p`` at a random early tick, run Monte-Carlo batches, and
+compare the adaptive BB's expected word bill against the always-
+quadratic fallback run on the same workload.
+"""
+
+from repro.analysis.montecarlo import expected_cost_curve
+from repro.analysis.tables import format_table
+from repro.config import SystemConfig
+from repro.core.byzantine_broadcast import byzantine_broadcast_protocol
+from repro.fallback.recursive_ba import fallback_ba
+
+from benchmarks._harness import publish
+
+N = 13
+TRIALS = 30
+PROBABILITIES = (0.0, 0.05, 0.15, 0.3)
+
+
+def test_adaptive_expected_cost_beats_quadratic(benchmark):
+    config = SystemConfig.with_optimal_resilience(N)
+
+    adaptive = expected_cost_curve(
+        config,
+        lambda pid: lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"),
+        probabilities=PROBABILITIES,
+        trials=TRIALS,
+        protected=frozenset({0}),  # keep the sender correct
+    )
+    quadratic = expected_cost_curve(
+        config,
+        lambda pid: lambda ctx: fallback_ba(ctx, "v", round_ticks=1),
+        probabilities=PROBABILITIES,
+        trials=TRIALS,
+    )
+
+    headers = [
+        "series", "trials", "mean", "median", "p95", "max",
+        "fallback rate", "splits",
+    ]
+    rows = []
+    for dist in adaptive:
+        rows.append(["adaptive " + dist.label, *dist.row()[1:]])
+    for dist in quadratic:
+        rows.append(["quadratic " + dist.label, *dist.row()[1:]])
+    savings = [
+        q.mean / a.mean for a, q in zip(adaptive, quadratic)
+    ]
+    publish(
+        "expected_cost",
+        format_table(headers, rows),
+        "expected savings (quadratic mean / adaptive mean) per p: "
+        + ", ".join(
+            f"p={p:g}: {s:.1f}x" for p, s in zip(PROBABILITIES, savings)
+        )
+        + "\n(the paper's motivation quantified: common runs are cheap, "
+        "and the adaptive protocol's expected cost degrades gracefully "
+        "as failures become likelier)",
+    )
+
+    # No safety violations anywhere.
+    assert all(d.disagreements == 0 for d in adaptive + quadratic)
+    # Adaptive wins in expectation at every p, hugely at p=0.
+    assert all(s > 1 for s in savings)
+    assert savings[0] > 5
+    # Adaptive expected cost grows with p; the quadratic baseline's
+    # does not improve (silence only trims constant factors).
+    means = [d.mean for d in adaptive]
+    assert means[0] < means[-1]
+    benchmark.pedantic(
+        lambda: expected_cost_curve(
+            config,
+            lambda pid: lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"),
+            probabilities=(0.1,),
+            trials=5,
+            protected=frozenset({0}),
+        ),
+        rounds=1,
+        iterations=1,
+    )

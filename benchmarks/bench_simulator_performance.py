@@ -1,0 +1,67 @@
+"""Simulator throughput benchmarks (pytest-benchmark's home turf).
+
+Not a paper claim — infrastructure health: how fast the deterministic
+runtime executes protocol rounds, so regressions in the scheduler or
+pool don't silently make the real benchmarks unrunnable at scale.
+"""
+
+from repro.config import SystemConfig
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.strong_ba import run_strong_ba
+from repro.fallback.recursive_ba import run_fallback_ba
+from repro.runtime.scheduler import Simulation
+
+
+def all_to_all_protocol(rounds):
+    def factory(ctx):
+        def protocol(ctx):
+            for _ in range(rounds):
+                ctx.broadcast(("ping", ctx.now))
+                yield
+            return ctx.pid
+
+        return protocol(ctx)
+
+    return factory
+
+
+def run_all_to_all(n, rounds):
+    config = SystemConfig.with_optimal_resilience(n)
+    simulation = Simulation(config)
+    for pid in config.processes:
+        simulation.add_process(pid, all_to_all_protocol(rounds))
+    return simulation.run()
+
+
+def test_scheduler_throughput_all_to_all(benchmark):
+    """~n^2 envelopes per round through the scheduler."""
+    result = benchmark(lambda: run_all_to_all(21, 10))
+    assert result.correct_words == 21 * 20 * 10
+
+
+def test_bb_end_to_end_rate(benchmark):
+    config = SystemConfig.with_optimal_resilience(13)
+    result = benchmark(
+        lambda: run_byzantine_broadcast(config, sender=0, value="v")
+    )
+    assert result.unanimous_decision() == "v"
+
+
+def test_strong_ba_end_to_end_rate(benchmark):
+    config = SystemConfig.with_optimal_resilience(13)
+    result = benchmark(
+        lambda: run_strong_ba(config, {p: 1 for p in config.processes})
+    )
+    assert result.unanimous_decision() == 1
+
+
+def test_fallback_crypto_heavy_rate(benchmark):
+    """The fallback is the crypto-heavy path (thousands of partial
+    verifications) — track it separately."""
+    config = SystemConfig.with_optimal_resilience(13)
+    result = benchmark.pedantic(
+        lambda: run_fallback_ba(config, {p: "v" for p in config.processes}),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.unanimous_decision() == "v"

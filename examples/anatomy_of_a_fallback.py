@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Anatomy of a fallback: one degraded run, dissected tick by tick.
+
+Runs weak BA with enough silent failures to block the ⌈(n+t+1)/2⌉
+commit quorum, then uses the analysis toolkit to show the whole story:
+the silent phases, the help round, the fallback certificate forming,
+the quadratic recursion — and a verifier report plus a JSON export at
+the end.
+
+Run:  python examples/anatomy_of_a_fallback.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.analysis.export import save_run
+from repro.analysis.flows import activity_timeline, silent_ticks, words_per_tick
+from repro.config import SystemConfig
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import weak_ba_protocol
+from repro.runtime.scheduler import Simulation
+from repro.verify import quadratic_word_budget, verify_run
+
+
+def main() -> None:
+    config = SystemConfig.with_optimal_resilience(7)
+    validity = ExternalValidity(lambda v: isinstance(v, str))
+    failed = (1, 3, 5)  # f = t = 3 >= (n-t-1)/2: the fallback must engage
+
+    print(f"n={config.n}, t={config.t}, silent failures: {failed}")
+    print(f"commit quorum {config.commit_quorum} needs "
+          f"{config.commit_quorum} of {config.n - len(failed)} live "
+          "processes — unreachable, so no phase can finalize.\n")
+
+    simulation = Simulation(config, seed=0, record_envelopes=True)
+    for pid in failed:
+        simulation.add_byzantine(pid, SilentBehavior())
+    for pid in config.processes:
+        if pid not in failed:
+            simulation.add_process(
+                pid, lambda ctx: weak_ba_protocol(ctx, "survive", validity)
+            )
+    result = simulation.run()
+
+    print("timeline (words per tick, payload types, protocol events):")
+    print(activity_timeline(result, width=32))
+
+    quiet = len(silent_ticks(result))
+    print(f"\n{quiet} of {result.ticks} ticks were completely silent "
+          "(phases whose Byzantine leaders never spoke).")
+
+    per_tick = words_per_tick(result.ledger)
+    burst = max(per_tick, key=per_tick.get)
+    print(f"the busiest tick was t={burst} with {per_tick[burst]} words — "
+          "deep inside the quadratic fallback recursion.")
+
+    print("\nper-layer bill:")
+    for scope, words in sorted(result.ledger.words_by_scope().items()):
+        print(f"  {scope:<20} {words:5d} words")
+
+    decision = result.unanimous_decision()
+    report = verify_run(
+        result,
+        expected_decision="survive",
+        word_budget=quadratic_word_budget(),
+        check_lemma6=True,
+    )
+    print(f"\ndecision: {decision!r}")
+    print(f"verifier: {report.summary()}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_run(result, Path(tmp) / "fallback_run.json")
+        size = path.stat().st_size
+        print(f"full run exported to JSON ({size:,} bytes) for offline "
+              "analysis — see repro.analysis.export.load_run")
+
+    assert report.ok
+    assert result.fallback_was_used()
+
+
+if __name__ == "__main__":
+    main()

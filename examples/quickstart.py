@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: one adaptive Byzantine Broadcast, end to end.
+
+Seven processes (n = 2t + 1 with t = 3), process 0 broadcasts a value,
+everyone agrees on it — and the whole thing costs O(n) words because
+nothing failed.  Run:
+
+    python examples/quickstart.py
+"""
+
+from repro.config import SystemConfig
+from repro.core import run_byzantine_broadcast
+
+
+def main() -> None:
+    # A deployment: n = 7 processes tolerating t = 3 Byzantine ones.
+    config = SystemConfig.with_optimal_resilience(7)
+    print(f"deployment: n={config.n}, t={config.t}, "
+          f"commit quorum ⌈(n+t+1)/2⌉ = {config.commit_quorum}")
+
+    # Process 0 broadcasts; the simulator runs all 7 processes.
+    result = run_byzantine_broadcast(config, sender=0, value="hello, PODC")
+
+    decision = result.unanimous_decision()
+    print(f"\nall {len(result.correct_pids)} correct processes decided: "
+          f"{decision!r}")
+
+    # The paper's complexity measure: words sent by correct processes.
+    print(f"communication bill: {result.correct_words} words "
+          f"({result.ledger.correct_messages} messages, "
+          f"{result.ledger.signature_count()} signatures inside)")
+    print(f"fallback executed: {result.fallback_was_used()} "
+          "(failure-free runs never need it)")
+    print(f"simulated rounds: {result.ticks}")
+
+    print("\nwho paid what, per protocol layer (Figure 1's nesting):")
+    for scope, words in sorted(result.ledger.words_by_scope().items()):
+        print(f"  {scope:<16} {words:4d} words")
+
+    assert decision == "hello, PODC"
+
+
+if __name__ == "__main__":
+    main()

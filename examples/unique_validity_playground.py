@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Unique validity as a design tool (the paper's Section 3 pitch).
+
+Weak BA is parameterized by *any* locally computable predicate, and the
+guarantee is: decisions are valid, and ``⊥`` appears only when several
+valid values existed.  This example runs the same weak BA engine under
+three different predicates to show the knob doing real work:
+
+1. an **external allow-list** — only values from an application-defined
+   set are decidable;
+2. **signed-inputs** — a value counts only with t+1 processes certifying
+   it as their input, which turns weak BA into strong-unanimity BA
+   (`repro.core.adaptive_strong_ba` packages this);
+3. an **authorization predicate** — a value must be signed by one of
+   two authorized issuer processes: nobody else, not even t colluding
+   Byzantine processes, can mint a decidable value.
+
+Run:  python examples/unique_validity_playground.py
+"""
+
+from repro.adversary.behaviors import GarbageSpammer
+from repro.config import SystemConfig
+from repro.core import run_weak_ba
+from repro.core.adaptive_strong_ba import run_adaptive_strong_ba
+from repro.core.validity import ExternalValidity
+from repro.core.values import BOTTOM
+from repro.crypto.signatures import SignedValue, sign_value
+
+CONFIG = SystemConfig.with_optimal_resilience(7)
+
+
+def scenario_allow_list() -> None:
+    print("=== 1. external allow-list predicate ===")
+    allowed = {"commit", "abort"}
+    validity = lambda suite, cfg: ExternalValidity(lambda v: v in allowed)
+
+    result = run_weak_ba(
+        CONFIG, {p: "commit" for p in CONFIG.processes}, validity
+    )
+    print(f"  all propose 'commit'      -> {result.unanimous_decision()!r}")
+
+    mixed = {p: ("commit" if p % 2 else "abort") for p in CONFIG.processes}
+    result = run_weak_ba(CONFIG, mixed, validity, seed=1)
+    decision = result.unanimous_decision()
+    print(f"  split commit/abort        -> {decision!r} "
+          f"({'a valid value won' if decision != BOTTOM else '⊥: several valid values existed — allowed by unique validity'})")
+
+
+def scenario_signed_inputs() -> None:
+    print("\n=== 2. signed-inputs predicate (strong unanimity) ===")
+    result = run_adaptive_strong_ba(
+        CONFIG, {p: "unanimous!" for p in CONFIG.processes}
+    )
+    print(f"  unanimous inputs          -> {result.unanimous_decision()!r} "
+          f"({result.correct_words} words, adaptive)")
+
+    result = run_adaptive_strong_ba(
+        CONFIG, {p: f"plan-{p}" for p in CONFIG.processes}
+    )
+    print(f"  seven different inputs    -> {result.unanimous_decision()!r} "
+          "(no value had t+1 backers; ⊥ is the honest answer)")
+
+
+def scenario_authorized_issuers() -> None:
+    print("\n=== 3. authorization predicate (issuer-signed values) ===")
+    issuers = {0, 1}
+
+    def validity_factory(suite, config):
+        def authorized(value):
+            return (
+                isinstance(value, SignedValue)
+                and value.signer in issuers
+                and value.verify(suite.registry)
+            )
+
+        return ExternalValidity(authorized)
+
+    # Build inputs: everyone proposes a token signed by issuer 0.  Three
+    # Byzantine processes spam garbage; they cannot forge issuer keys.
+    from repro.runtime.scheduler import Simulation
+    from repro.core.weak_ba import weak_ba_protocol
+
+    simulation = Simulation(CONFIG, seed=0)
+    token = sign_value(simulation.suite.signer(0), ("grant", "alice", 42))
+    validity = validity_factory(simulation.suite, CONFIG)
+    byzantine_pids = (3, 5, 6)
+    for pid in byzantine_pids:
+        simulation.add_byzantine(pid, GarbageSpammer())
+    for pid in CONFIG.processes:
+        if pid in byzantine_pids:
+            continue
+        simulation.add_process(
+            pid, lambda ctx: weak_ba_protocol(ctx, token, validity)
+        )
+    result = simulation.run()
+    decision = result.unanimous_decision()
+    print(f"  issuer-signed grant       -> {decision.payload!r} "
+          f"(f={result.f} spammers could not mint a competing value)")
+    assert decision == token
+
+
+def main() -> None:
+    scenario_allow_list()
+    scenario_signed_inputs()
+    scenario_authorized_issuers()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Thin setup.py shim.
+
+The environment ships setuptools without the ``wheel`` package, so PEP
+660 editable installs (``pip install -e .`` via pyproject only) fail
+with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work offline; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro — reproduction of *Make Every Word Count: Adaptive Byzantine
+Agreement with Fewer Words* (Cohen, Keidar, Spiegelman, PODC 2022).
+
+Public API highlights
+---------------------
+* :class:`repro.config.SystemConfig` — deployment parameters (``n = 2t + 1``).
+* :func:`repro.core.byzantine_broadcast.run_byzantine_broadcast` — the
+  adaptive ``O(n(f+1))``-word Byzantine Broadcast (Algorithms 1+2).
+* :func:`repro.core.weak_ba.run_weak_ba` — adaptive weak Byzantine
+  Agreement with unique validity (Algorithms 3+4).
+* :func:`repro.core.strong_ba.run_strong_ba` — binary strong BA, linear
+  words when failure-free (Algorithm 5).
+* :mod:`repro.adversary` — pluggable Byzantine strategies.
+* :mod:`repro.analysis` — sweeps and complexity-slope fitting for the
+  benchmark harness.
+"""
+
+from repro.config import RunParameters, SystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["SystemConfig", "RunParameters", "__version__"]

@@ -1,0 +1,41 @@
+"""Adversary framework: pluggable Byzantine strategies.
+
+The adversary of the paper (Section 2) is adaptive and fully Byzantine:
+it may corrupt up to ``t`` processes mid-run, crash them, silence them,
+or have them send arbitrary messages (it can never forge signatures of
+correct processes).  This package provides:
+
+* :mod:`repro.adversary.behaviors` — per-process behavior objects the
+  scheduler steps each tick (silence, crash-after, equivocation,
+  fallback forcing, commit splitting, ...);
+* :mod:`repro.adversary.strategies` — run-level strategies that choose
+  *who* to corrupt and *which* behavior each corrupted process runs.
+"""
+
+from repro.adversary.behaviors import (
+    DelayedSilence,
+    EchoBehavior,
+    EquivocatingSender,
+    FallbackForcer,
+    GarbageSpammer,
+    SilentBehavior,
+)
+from repro.adversary.strategies import (
+    AdversaryStrategy,
+    CrashStrategy,
+    SilentStrategy,
+    StaticStrategy,
+)
+
+__all__ = [
+    "SilentBehavior",
+    "DelayedSilence",
+    "EchoBehavior",
+    "EquivocatingSender",
+    "FallbackForcer",
+    "GarbageSpammer",
+    "AdversaryStrategy",
+    "StaticStrategy",
+    "SilentStrategy",
+    "CrashStrategy",
+]

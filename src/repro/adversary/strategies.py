@@ -1,0 +1,134 @@
+"""Run-level adversary strategies: who is corrupted, and how.
+
+A strategy turns ``(config, f, seed)`` into a concrete corruption plan:
+which processes start Byzantine (with which behaviors) and which honest
+processes get corrupted mid-run (the adaptive adversary).  Drivers and
+benchmarks apply a plan to a :class:`~repro.runtime.scheduler.Simulation`
+with :func:`apply_strategy`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.config import ProcessId, SystemConfig
+from repro.errors import ConfigurationError
+from repro.runtime.scheduler import Simulation
+
+
+@dataclass(frozen=True)
+class CorruptionPlan:
+    """A concrete corruption schedule for one run."""
+
+    initial: dict[ProcessId, object]
+    """Processes Byzantine from tick 0, with their behaviors."""
+
+    scheduled: tuple[tuple[int, ProcessId, object], ...] = ()
+    """Mid-run corruptions: ``(tick, pid, behavior)`` (adaptive adversary)."""
+
+    @property
+    def corrupted(self) -> frozenset[ProcessId]:
+        return frozenset(self.initial) | frozenset(
+            pid for _, pid, _ in self.scheduled
+        )
+
+    @property
+    def f(self) -> int:
+        return len(self.corrupted)
+
+
+class AdversaryStrategy(ABC):
+    """Chooses corruption targets and behaviors for a run."""
+
+    @abstractmethod
+    def plan(self, config: SystemConfig, f: int, seed: int = 0) -> CorruptionPlan:
+        """Build a plan corrupting exactly ``f`` processes."""
+
+    @staticmethod
+    def _pick_targets(
+        config: SystemConfig,
+        f: int,
+        seed: int,
+        avoid: frozenset[ProcessId] = frozenset(),
+    ) -> list[ProcessId]:
+        config.validate_failures(f)
+        candidates = [p for p in config.processes if p not in avoid]
+        if f > len(candidates):
+            raise ConfigurationError(
+                f"cannot corrupt {f} processes while avoiding {sorted(avoid)}"
+            )
+        rng = random.Random(seed)
+        return sorted(rng.sample(candidates, f))
+
+
+@dataclass
+class StaticStrategy(AdversaryStrategy):
+    """Corrupt ``f`` random processes from tick 0 with ``behavior_factory``.
+
+    ``avoid`` shields specific processes (e.g. keep the BB sender
+    correct to test the validity property).
+    """
+
+    behavior_factory: Callable[[ProcessId], object]
+    avoid: frozenset[ProcessId] = frozenset()
+
+    def plan(self, config: SystemConfig, f: int, seed: int = 0) -> CorruptionPlan:
+        targets = self._pick_targets(config, f, seed, self.avoid)
+        return CorruptionPlan(
+            initial={pid: self.behavior_factory(pid) for pid in targets}
+        )
+
+
+@dataclass
+class SilentStrategy(AdversaryStrategy):
+    """``f`` processes crashed from the start (the common failure mode)."""
+
+    avoid: frozenset[ProcessId] = frozenset()
+
+    def plan(self, config: SystemConfig, f: int, seed: int = 0) -> CorruptionPlan:
+        targets = self._pick_targets(config, f, seed, self.avoid)
+        return CorruptionPlan(
+            initial={pid: SilentBehavior() for pid in targets}
+        )
+
+
+@dataclass
+class CrashStrategy(AdversaryStrategy):
+    """Adaptive crashes: ``f`` processes run honestly, then crash at
+    staggered ticks chosen in ``[first_tick, last_tick]``."""
+
+    first_tick: int = 1
+    last_tick: int = 20
+    avoid: frozenset[ProcessId] = frozenset()
+
+    def plan(self, config: SystemConfig, f: int, seed: int = 0) -> CorruptionPlan:
+        targets = self._pick_targets(config, f, seed, self.avoid)
+        rng = random.Random(seed ^ 0x5EED)
+        scheduled = tuple(
+            (rng.randint(self.first_tick, self.last_tick), pid, SilentBehavior())
+            for pid in targets
+        )
+        return CorruptionPlan(initial={}, scheduled=scheduled)
+
+
+def apply_strategy(
+    simulation: Simulation,
+    plan: CorruptionPlan,
+    protocol_factory: Callable[[ProcessId], object],
+) -> None:
+    """Populate ``simulation``: Byzantine per ``plan``, honest otherwise.
+
+    ``protocol_factory(pid)`` must return the correct-process protocol
+    factory (a callable taking the context) for process ``pid``.
+    """
+    for pid in simulation.config.processes:
+        if pid in plan.initial:
+            simulation.add_byzantine(pid, plan.initial[pid])
+        else:
+            simulation.add_process(pid, protocol_factory(pid))
+    for tick, pid, behavior in plan.scheduled:
+        simulation.schedule_corruption(tick, pid, behavior)

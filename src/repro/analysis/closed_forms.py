@@ -1,0 +1,80 @@
+"""Closed-form word counts for failure-free runs.
+
+The deterministic simulator makes failure-free costs *exact*, not just
+asymptotic — each protocol's bill is a precise polynomial in ``n``
+(self-delivery is free, so per-round broadcast/convergecast terms count
+``n - 1`` messages).  ``tests/test_closed_forms.py`` asserts equality
+between these formulas and measured runs; a mismatch means a protocol
+round gained or lost a message, which asymptotic slope checks would
+miss entirely.
+
+Derivations (failure-free, all processes correct):
+
+* **weak BA** — one non-silent phase: propose + votes + commit cert +
+  decide shares + finalize, each `n-1` words → ``5(n-1)``.
+* **BB** — the sender round adds `n-1`; vetting phases are silent
+  (everyone holds the value) → ``6(n-1)``.
+* **Algorithm 5** — inputs + propose cert + decide shares + decide
+  cert → ``4(n-1)``.
+* **Dolev–Strong** — the sender's 1-word chain to `n-1` processes,
+  then each of the `n-1` receivers relays its extraction (a 2-word
+  chain) to the other `n-1` processes → ``(n-1) + 2(n-1)^2``.
+* **Phase King** — `t+1` phases of an all-to-all preference exchange
+  (`n(n-1)` words) plus a king broadcast (`n-1`).
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+
+
+def weak_ba_failure_free_words(config: SystemConfig) -> int:
+    """``5(n-1)``: one non-silent phase, five leader/all exchanges."""
+    return 5 * (config.n - 1)
+
+
+def bb_failure_free_words(config: SystemConfig) -> int:
+    """``6(n-1)``: dissemination round + the weak BA's single phase."""
+    return 6 * (config.n - 1)
+
+
+def strong_ba_failure_free_words(config: SystemConfig) -> int:
+    """``4(n-1)``: Lemma 8's four leader rounds."""
+    return 4 * (config.n - 1)
+
+
+def dolev_strong_failure_free_words(config: SystemConfig) -> int:
+    """``(n-1) + 2(n-1)^2``.
+
+    Round 1: the sender's length-1 chain to the other ``n-1``
+    processes.  Round 2: each of the ``n-1`` receivers extracts the
+    value and relays a length-2 chain (2 words) to everyone but itself;
+    the relays addressed to the sender are counted too.  Later rounds
+    are silent (everyone has extracted the value, and chains carrying
+    it again are duplicates).
+    """
+    n = config.n
+    return (n - 1) + 2 * (n - 1) * (n - 1)
+
+
+def phase_king_failure_free_words(config: SystemConfig) -> int:
+    """``(t+1) * (n(n-1) + (n-1))``: per phase, everyone broadcasts a
+    preference and the king broadcasts a tie-break."""
+    n, t = config.n, config.t
+    return (t + 1) * (n * (n - 1) + (n - 1))
+
+
+def adaptive_strong_ba_unanimous_words(config: SystemConfig) -> int:
+    """``3(n-1)`` certificate phase (request + shares + cert broadcast)
+    + ``5(n-1)`` weak BA = ``8(n-1)``."""
+    return 8 * (config.n - 1)
+
+
+CLOSED_FORMS = {
+    "weak_ba": weak_ba_failure_free_words,
+    "bb": bb_failure_free_words,
+    "strong_ba": strong_ba_failure_free_words,
+    "dolev_strong": dolev_strong_failure_free_words,
+    "phase_king": phase_king_failure_free_words,
+    "adaptive_strong_ba": adaptive_strong_ba_unanimous_words,
+}

@@ -1,0 +1,98 @@
+"""Growth-exponent estimation for measured word complexities.
+
+The benchmarks verify *shapes*, not constants: ``O(n)`` vs ``O(n^2)``
+vs ``O(n(f+1))``.  A least-squares fit of ``log(words)`` against
+``log(x)`` estimates the exponent; the benchmarks then assert e.g. that
+the failure-free Algorithm 5 exponent in ``n`` is close to 1 while the
+fallback's is close to 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SlopeFit:
+    """Result of a log-log least-squares fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    points: int
+
+    def predict(self, x: float) -> float:
+        """Predicted ``y`` at ``x`` under the fitted power law."""
+        return math.exp(self.intercept) * x**self.slope
+
+
+def fit_loglog_slope(
+    xs: Sequence[float], ys: Sequence[float]
+) -> SlopeFit:
+    """Least-squares slope of ``log(y)`` vs ``log(x)``.
+
+    Requires at least two distinct positive ``x`` values and positive
+    ``y`` values (word counts always are).
+
+    >>> fit = fit_loglog_slope([2, 4, 8], [12, 48, 192])   # y = 3 x^2
+    >>> round(fit.slope, 6), round(fit.r_squared, 6)
+    (2.0, 1.0)
+    >>> round(fit.predict(16), 6)
+    768.0
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len({x for x, _ in pairs}) < 2:
+        raise ValueError("need at least two distinct positive x values")
+    lx = [math.log(x) for x, _ in pairs]
+    ly = [math.log(y) for _, y in pairs]
+    n = len(pairs)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(lx, ly)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ly)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return SlopeFit(
+        slope=slope, intercept=intercept, r_squared=r_squared, points=n
+    )
+
+
+def fit_slope_vs(
+    points: Iterable[object],
+    x_of: Callable[[object], float],
+    y_of: Callable[[object], float],
+) -> SlopeFit:
+    """Fit a power law over arbitrary records via accessor callables."""
+    xs, ys = [], []
+    for point in points:
+        xs.append(x_of(point))
+        ys.append(y_of(point))
+    return fit_loglog_slope(xs, ys)
+
+
+def crossover_point(
+    xs: Sequence[float], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> float | None:
+    """First ``x`` at which series ``a`` stops being cheaper than ``b``.
+
+    Returns ``None`` if ``a`` stays below ``b`` throughout (or the
+    series never start with ``a`` below ``b``).
+    """
+    if not (len(xs) == len(ys_a) == len(ys_b)):
+        raise ValueError("series must be equally long")
+    started_below = False
+    for x, a, b in zip(xs, ys_a, ys_b):
+        if a < b:
+            started_below = True
+        elif started_below:
+            return x
+    return None

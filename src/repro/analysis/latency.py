@@ -1,0 +1,72 @@
+"""Decision-latency analysis: when and how each process decided.
+
+Complements the word accounting: the paper optimizes words, and the
+latency breakdown shows what that costs in time — which round each
+correct process decided in, and through which mechanism (in-phase
+finalize, help answer, or the fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ProcessId
+from repro.runtime.result import RunResult
+
+DECISION_MECHANISMS = {
+    "wba_decided_in_phase": "in-phase",
+    "wba_decided_by_help": "help",
+    "wba_decided_by_fallback": "fallback",
+    "sba_decided_fast": "fast-path",
+}
+
+
+@dataclass(frozen=True)
+class DecisionLatency:
+    """One correct process's decision timing."""
+
+    pid: ProcessId
+    decided_at: int | None
+    halted_at: int | None
+    mechanism: str
+
+
+def decision_latencies(result: RunResult) -> list[DecisionLatency]:
+    """Extract per-process decision timing from the trace."""
+    first_decision: dict[ProcessId, tuple[int, str]] = {}
+    for event in result.trace.events:
+        if event.pid in result.corrupted:
+            continue
+        mechanism = DECISION_MECHANISMS.get(event.name)
+        if mechanism is None:
+            continue
+        if event.pid not in first_decision:
+            first_decision[event.pid] = (event.tick, mechanism)
+    latencies = []
+    for pid in result.correct_pids:
+        tick, mechanism = first_decision.get(pid, (None, "unknown"))
+        latencies.append(
+            DecisionLatency(
+                pid=pid,
+                decided_at=tick,
+                halted_at=result.halted_at.get(pid),
+                mechanism=mechanism,
+            )
+        )
+    return latencies
+
+
+def latency_summary(result: RunResult) -> dict:
+    """Aggregate view: spread of decision ticks and mechanism counts."""
+    latencies = decision_latencies(result)
+    decided = [l.decided_at for l in latencies if l.decided_at is not None]
+    mechanisms: dict[str, int] = {}
+    for latency in latencies:
+        mechanisms[latency.mechanism] = mechanisms.get(latency.mechanism, 0) + 1
+    return {
+        "first_decision": min(decided) if decided else None,
+        "last_decision": max(decided) if decided else None,
+        "spread": (max(decided) - min(decided)) if decided else None,
+        "mechanisms": mechanisms,
+        "run_ticks": result.ticks,
+    }

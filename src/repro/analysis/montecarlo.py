@@ -1,0 +1,132 @@
+"""Monte-Carlo runner: expected cost under probabilistic failures.
+
+The paper's motivation (Sections 1 and 4): *"in most runs, where
+systems do not exhibit the worst crash patterns, the complexity is much
+lower"*.  This module quantifies that: each process fails independently
+with probability ``p`` (crashing at a random tick), we run many trials,
+and report the distribution of the word bill.  The adaptive protocols'
+*expected* cost then interpolates between the linear and quadratic
+regimes as ``p`` grows, while a fixed quadratic protocol pays full
+price at every ``p``.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.config import ProcessId, SystemConfig
+from repro.runtime.result import RunResult
+from repro.runtime.scheduler import Simulation
+
+
+@dataclass(frozen=True)
+class CostDistribution:
+    """Word-cost statistics over a batch of randomized trials."""
+
+    label: str
+    trials: int
+    mean: float
+    median: float
+    p95: float
+    maximum: int
+    fallback_rate: float
+    disagreements: int
+
+    def row(self) -> list:
+        return [
+            self.label,
+            self.trials,
+            round(self.mean, 1),
+            round(self.median, 1),
+            round(self.p95, 1),
+            self.maximum,
+            f"{self.fallback_rate:.0%}",
+            self.disagreements,
+        ]
+
+
+def run_probabilistic_trials(
+    config: SystemConfig,
+    protocol_factory: Callable[[ProcessId], object],
+    *,
+    failure_probability: float,
+    trials: int,
+    seed: int = 0,
+    crash_window: int = 30,
+    protected: frozenset[ProcessId] = frozenset(),
+    label: str = "",
+    max_ticks: int = 200_000,
+) -> CostDistribution:
+    """Run ``trials`` randomized executions.
+
+    Each unprotected process independently crashes (goes silent) at a
+    uniform random tick in ``[0, crash_window)`` with probability
+    ``failure_probability`` — capped at ``t`` total failures so every
+    run stays within the model.
+    """
+    words: list[int] = []
+    fallbacks = 0
+    disagreements = 0
+    rng = random.Random(seed)
+    for trial in range(trials):
+        simulation = Simulation(
+            config, seed=rng.randrange(2**31), max_ticks=max_ticks
+        )
+        crashers: list[tuple[int, ProcessId]] = []
+        for pid in config.processes:
+            if pid in protected:
+                continue
+            if len(crashers) < config.t and rng.random() < failure_probability:
+                crashers.append((rng.randrange(crash_window), pid))
+        for pid in config.processes:
+            simulation.add_process(pid, protocol_factory(pid))
+        for tick, pid in crashers:
+            simulation.schedule_corruption(tick, pid, SilentBehavior())
+        result: RunResult = simulation.run()
+        words.append(result.correct_words)
+        if result.fallback_was_used():
+            fallbacks += 1
+        try:
+            result.unanimous_decision()
+        except Exception:
+            disagreements += 1
+    words_sorted = sorted(words)
+    p95_index = min(len(words_sorted) - 1, int(0.95 * len(words_sorted)))
+    return CostDistribution(
+        label=label or f"p={failure_probability}",
+        trials=trials,
+        mean=statistics.fmean(words),
+        median=statistics.median(words),
+        p95=float(words_sorted[p95_index]),
+        maximum=max(words),
+        fallback_rate=fallbacks / trials,
+        disagreements=disagreements,
+    )
+
+
+def expected_cost_curve(
+    config: SystemConfig,
+    protocol_factory: Callable[[ProcessId], object],
+    *,
+    probabilities: Sequence[float],
+    trials: int,
+    seed: int = 0,
+    protected: frozenset[ProcessId] = frozenset(),
+) -> list[CostDistribution]:
+    """One :class:`CostDistribution` per failure probability."""
+    return [
+        run_probabilistic_trials(
+            config,
+            protocol_factory,
+            failure_probability=p,
+            trials=trials,
+            seed=seed + int(p * 1000),
+            protected=protected,
+            label=f"p={p:g}",
+        )
+        for p in probabilities
+    ]

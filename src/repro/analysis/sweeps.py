@@ -1,0 +1,250 @@
+"""Parameter sweeps: run a protocol across ``(n, f)`` grids and record
+the paper's complexity measures for each run.
+
+Every sweep returns a list of :class:`SweepPoint` — the raw material for
+the benchmark tables and the slope fits.  Sweeps are deterministic given
+their seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.adversary.strategies import (
+    AdversaryStrategy,
+    CorruptionPlan,
+    SilentStrategy,
+    apply_strategy,
+)
+from repro.config import ProcessId, SystemConfig
+from repro.core.byzantine_broadcast import byzantine_broadcast_protocol
+from repro.core.strong_ba import strong_ba_protocol
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import weak_ba_protocol
+from repro.fallback.dolev_strong import dolev_strong_protocol
+from repro.fallback.recursive_ba import fallback_ba
+from repro.runtime.result import RunResult
+from repro.runtime.scheduler import Simulation
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One run's complexity measurements."""
+
+    protocol: str
+    n: int
+    t: int
+    f: int
+    seed: int
+    words: int
+    messages: int
+    signatures: int
+    ticks: int
+    fallback_used: bool
+    non_silent_phases: int
+    decision: Any
+
+    @property
+    def words_per_nf(self) -> float:
+        """``words / (n * (f + 1))`` — flat iff the adaptive bound is tight."""
+        return self.words / (self.n * (self.f + 1))
+
+    @property
+    def words_per_n2(self) -> float:
+        """``words / n^2`` — flat iff the run is quadratic."""
+        return self.words / (self.n**2)
+
+
+def _measure(
+    protocol: str, result: RunResult, seed: int, n: int, t: int
+) -> SweepPoint:
+    non_silent = result.trace.count("phase_non_silent") + result.trace.count(
+        "bb_phase_non_silent"
+    )
+    try:
+        decision = result.unanimous_decision()
+    except Exception:  # benchmarks still want the point; tests assert separately
+        decision = None
+    return SweepPoint(
+        protocol=protocol,
+        n=n,
+        t=t,
+        f=result.f,
+        seed=seed,
+        words=result.correct_words,
+        messages=result.ledger.correct_messages,
+        signatures=result.ledger.signature_count(),
+        ticks=result.ticks,
+        fallback_used=result.fallback_was_used(),
+        non_silent_phases=non_silent,
+        decision=decision,
+    )
+
+
+def _run_with_strategy(
+    protocol: str,
+    config: SystemConfig,
+    strategy: AdversaryStrategy,
+    f: int,
+    seed: int,
+    protocol_factory: Callable[[ProcessId], object],
+    *,
+    max_ticks: int = 200_000,
+) -> SweepPoint:
+    plan: CorruptionPlan = strategy.plan(config, f, seed)
+    simulation = Simulation(config, seed=seed, max_ticks=max_ticks)
+    apply_strategy(simulation, plan, protocol_factory)
+    result = simulation.run()
+    return _measure(protocol, result, seed, config.n, config.t)
+
+
+def _default_grid(
+    ns: Sequence[int], fs: Callable[[SystemConfig], Iterable[int]] | None
+) -> list[tuple[SystemConfig, int]]:
+    grid: list[tuple[SystemConfig, int]] = []
+    for n in ns:
+        config = SystemConfig.with_optimal_resilience(n)
+        failure_counts = (
+            list(fs(config)) if fs is not None else list(range(config.t + 1))
+        )
+        for f in failure_counts:
+            grid.append((config, f))
+    return grid
+
+
+def sweep_byzantine_broadcast(
+    ns: Sequence[int],
+    *,
+    fs: Callable[[SystemConfig], Iterable[int]] | None = None,
+    strategy: AdversaryStrategy | None = None,
+    seeds: Sequence[int] = (0,),
+    value: object = "payload",
+) -> list[SweepPoint]:
+    """Run adaptive BB over the grid; the sender (process 0) stays correct."""
+    points = []
+    for config, f in _default_grid(ns, fs):
+        strat = strategy or SilentStrategy(avoid=frozenset({0}))
+        for seed in seeds:
+            points.append(
+                _run_with_strategy(
+                    "bb",
+                    config,
+                    strat,
+                    f,
+                    seed,
+                    lambda pid: lambda ctx: byzantine_broadcast_protocol(
+                        ctx, 0, value
+                    ),
+                )
+            )
+    return points
+
+
+def sweep_weak_ba(
+    ns: Sequence[int],
+    *,
+    fs: Callable[[SystemConfig], Iterable[int]] | None = None,
+    strategy: AdversaryStrategy | None = None,
+    seeds: Sequence[int] = (0,),
+    value: object = "proposal",
+) -> list[SweepPoint]:
+    """Run weak BA (all correct processes propose ``value``)."""
+    validity = ExternalValidity(lambda v: isinstance(v, str))
+    points = []
+    for config, f in _default_grid(ns, fs):
+        strat = strategy or SilentStrategy()
+        for seed in seeds:
+            points.append(
+                _run_with_strategy(
+                    "weak_ba",
+                    config,
+                    strat,
+                    f,
+                    seed,
+                    lambda pid: lambda ctx: weak_ba_protocol(ctx, value, validity),
+                )
+            )
+    return points
+
+
+def sweep_strong_ba(
+    ns: Sequence[int],
+    *,
+    fs: Callable[[SystemConfig], Iterable[int]] | None = None,
+    strategy: AdversaryStrategy | None = None,
+    seeds: Sequence[int] = (0,),
+    inputs: Callable[[ProcessId], int] = lambda pid: 1,
+) -> list[SweepPoint]:
+    """Run Algorithm 5 (binary strong BA)."""
+    points = []
+    for config, f in _default_grid(ns, fs):
+        strat = strategy or SilentStrategy(avoid=frozenset({0}))
+        for seed in seeds:
+            points.append(
+                _run_with_strategy(
+                    "strong_ba",
+                    config,
+                    strat,
+                    f,
+                    seed,
+                    lambda pid: lambda ctx, v=inputs(pid): strong_ba_protocol(
+                        ctx, v
+                    ),
+                )
+            )
+    return points
+
+
+def sweep_fallback_ba(
+    ns: Sequence[int],
+    *,
+    fs: Callable[[SystemConfig], Iterable[int]] | None = None,
+    strategy: AdversaryStrategy | None = None,
+    seeds: Sequence[int] = (0,),
+    value: object = "v",
+) -> list[SweepPoint]:
+    """Run the quadratic ``Afallback`` directly (the Momose–Ren row)."""
+    points = []
+    for config, f in _default_grid(ns, fs):
+        strat = strategy or SilentStrategy()
+        for seed in seeds:
+            points.append(
+                _run_with_strategy(
+                    "fallback_ba",
+                    config,
+                    strat,
+                    f,
+                    seed,
+                    lambda pid: lambda ctx: fallback_ba(
+                        ctx, value, round_ticks=1
+                    ),
+                )
+            )
+    return points
+
+
+def sweep_dolev_strong(
+    ns: Sequence[int],
+    *,
+    fs: Callable[[SystemConfig], Iterable[int]] | None = None,
+    strategy: AdversaryStrategy | None = None,
+    seeds: Sequence[int] = (0,),
+    value: object = "payload",
+) -> list[SweepPoint]:
+    """Run the Dolev–Strong baseline (sender 0 stays correct)."""
+    points = []
+    for config, f in _default_grid(ns, fs):
+        strat = strategy or SilentStrategy(avoid=frozenset({0}))
+        for seed in seeds:
+            points.append(
+                _run_with_strategy(
+                    "dolev_strong",
+                    config,
+                    strat,
+                    f,
+                    seed,
+                    lambda pid: lambda ctx: dolev_strong_protocol(ctx, 0, value),
+                )
+            )
+    return points

@@ -1,0 +1,101 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmarks print tables mirroring the paper's Table 1 rows plus the
+measured series; these helpers keep the formatting consistent and
+dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.analysis.sweeps import SweepPoint
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_points(
+    points: Sequence[SweepPoint],
+    extra: dict[str, Callable[[SweepPoint], Any]] | None = None,
+) -> str:
+    """Standard rendering of sweep results."""
+    extra = extra or {}
+    headers = [
+        "protocol",
+        "n",
+        "t",
+        "f",
+        "words",
+        "msgs",
+        "sigs",
+        "ticks",
+        "fallback",
+        "w/(n(f+1))",
+        *extra.keys(),
+    ]
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                p.protocol,
+                p.n,
+                p.t,
+                p.f,
+                p.words,
+                p.messages,
+                p.signatures,
+                p.ticks,
+                "yes" if p.fallback_used else "no",
+                p.words_per_nf,
+                *(fn(p) for fn in extra.values()),
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def ascii_series_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """A minimal horizontal-bar plot for example scripts.
+
+    Each x gets one row per series with a bar proportional to the value
+    (linear scale, normalized to the global maximum).
+    """
+    peak = max((max(ys) for ys in series.values() if ys), default=1) or 1
+    lines = [title] if title else []
+    label_width = max(len(name) for name in series)
+    for index, x in enumerate(xs):
+        for name, ys in series.items():
+            value = ys[index]
+            bar = "#" * max(1, round(width * value / peak)) if value else ""
+            lines.append(
+                f"x={x:<6g} {name.ljust(label_width)} |{bar} {value:g}"
+            )
+        lines.append("")
+    return "\n".join(lines)

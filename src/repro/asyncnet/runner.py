@@ -1,0 +1,384 @@
+"""The asyncio protocol runner.
+
+Design: each correct process is an asyncio task driving its protocol
+generator.  A ``yield`` in protocol code means "end of my current
+round": the task sleeps ``tick_duration`` seconds, then drains its
+queue into ``ctx.inbox`` and resumes the generator.  All tasks start
+together, so their round boundaries stay aligned to within scheduling
+jitter — which the protocols already tolerate, because every
+multi-party step reads from a :class:`~repro.runtime.pool.MessagePool`
+(the same mechanism that absorbs the paper's ``delta`` skew, Lemma 18).
+
+Messages are delivered through per-process ``asyncio.Queue``s after an
+optional artificial ``latency`` (keep it under ``tick_duration``, the
+synchrony bound).  Word accounting and tracing reuse the simulator's
+:class:`~repro.metrics.words.WordLedger` and
+:class:`~repro.runtime.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterator
+
+from repro.config import ProcessId, SystemConfig
+from repro.crypto.certificates import CryptoSuite
+from repro.crypto.keys import Signer
+from repro.errors import SchedulerError
+from repro.metrics.words import WordLedger
+from repro.runtime.envelope import Envelope
+from repro.runtime.trace import Trace
+
+
+@dataclass
+class AsyncRunResult:
+    """Mirror of :class:`~repro.runtime.result.RunResult` for async runs."""
+
+    config: SystemConfig
+    decisions: dict[ProcessId, Any]
+    corrupted: frozenset[ProcessId]
+    ledger: WordLedger
+    trace: Trace
+    elapsed: float
+
+    @property
+    def correct_words(self) -> int:
+        return self.ledger.correct_words
+
+    def unanimous_decision(self) -> Any:
+        from repro.errors import AgreementViolation
+
+        correct = [p for p in self.config.processes if p not in self.corrupted]
+        missing = [p for p in correct if p not in self.decisions]
+        if missing:
+            raise AgreementViolation(f"processes {missing} did not decide")
+        values = [self.decisions[p] for p in correct]
+        for pid, value in zip(correct, values):
+            if value != values[0]:
+                raise AgreementViolation(
+                    f"{correct[0]} decided {values[0]!r}, {pid} decided {value!r}"
+                )
+        return values[0]
+
+
+class AsyncNetwork:
+    """Shared state of one asyncio protocol run."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        seed: int = 0,
+        tick_duration: float = 0.02,
+        latency: float = 0.0,
+    ) -> None:
+        if latency >= tick_duration:
+            raise SchedulerError(
+                f"latency ({latency}) must stay below the synchrony bound "
+                f"tick_duration ({tick_duration})"
+            )
+        self.config = config
+        self.seed = seed
+        self.suite = CryptoSuite(config, seed=seed)
+        self.tick_duration = tick_duration
+        self.latency = latency
+        self.ledger = WordLedger()
+        self.trace = Trace()
+        self.queues: dict[ProcessId, asyncio.Queue] = {}
+        self.corrupted: set[ProcessId] = set()
+        self.global_tick = 0
+
+    def queue_for(self, pid: ProcessId) -> asyncio.Queue:
+        if pid not in self.queues:
+            self.queues[pid] = asyncio.Queue()
+        return self.queues[pid]
+
+    def post(
+        self, sender: ProcessId, to: ProcessId, payload: object, *, tick: int,
+        scope: str,
+    ) -> None:
+        if to not in self.config.processes:
+            raise SchedulerError(f"send to unknown process {to}")
+        self.ledger.record(
+            tick=tick,
+            sender=sender,
+            receiver=to,
+            payload=payload,
+            scope=scope,
+            sender_correct=sender not in self.corrupted,
+        )
+        envelope = Envelope(
+            sender=sender,
+            receiver=to,
+            payload=payload,
+            sent_at=tick,
+            delivered_at=tick + 1,
+        )
+        if self.latency > 0:
+            loop = asyncio.get_running_loop()
+            loop.call_later(
+                self.latency, self.queue_for(to).put_nowait, envelope
+            )
+        else:
+            self.queue_for(to).put_nowait(envelope)
+
+
+class AsyncContext:
+    """Duck-type of :class:`~repro.runtime.context.ProcessContext`.
+
+    Protocol generators only use the attribute surface implemented
+    here, so they run unmodified.
+    """
+
+    def __init__(self, network: AsyncNetwork, pid: ProcessId) -> None:
+        self._network = network
+        self._pid = pid
+        self._tick = 0
+        self._scopes: list[str] = []
+        self.inbox: list[Envelope] = []
+        self.rng = random.Random((network.seed * 1_000_003 + pid) & 0xFFFFFFFF)
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._network.config
+
+    @property
+    def suite(self) -> CryptoSuite:
+        return self._network.suite
+
+    @property
+    def signer(self) -> Signer:
+        return self._network.suite.signer(self._pid)
+
+    @property
+    def now(self) -> int:
+        return self._tick
+
+    @property
+    def scope_path(self) -> str:
+        return "/".join(self._scopes) or "top"
+
+    def send(self, to: ProcessId, payload: object) -> None:
+        self._network.post(
+            self._pid, to, payload, tick=self._tick, scope=self.scope_path
+        )
+
+    def broadcast(self, payload: object, include_self: bool = True) -> None:
+        for to in self.config.processes:
+            if to == self._pid and not include_self:
+                continue
+            self.send(to, payload)
+
+    def emit(self, name: str, **data: Any) -> None:
+        self._network.trace.emit(
+            tick=self._tick,
+            pid=self._pid,
+            scope=self.scope_path,
+            name=name,
+            **data,
+        )
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        self._scopes.append(name)
+        try:
+            yield
+        finally:
+            self._scopes.pop()
+
+    def sleep(self, ticks: int) -> Generator[None, None, list[Envelope]]:
+        collected: list[Envelope] = []
+        for _ in range(ticks):
+            yield
+            collected.extend(self.inbox)
+        return collected
+
+    def next_round(self) -> Generator[None, None, list[Envelope]]:
+        return (yield from self.sleep(1))
+
+    # -- driver hooks ----------------------------------------------------
+
+    def advance(self, envelopes: list[Envelope]) -> None:
+        self._tick += 1
+        self.inbox = envelopes
+
+
+async def _drive_process(
+    network: AsyncNetwork,
+    pid: ProcessId,
+    factory: Callable[[AsyncContext], Generator[None, None, Any]],
+    start_time: float,
+) -> tuple[ProcessId, Any]:
+    """Drive one protocol generator, one round per ``tick_duration``.
+
+    Round boundaries are pinned to the *absolute* shared clock
+    (``start_time + k * tick_duration``) rather than relative sleeps —
+    otherwise tasks with heavier per-round work (leaders) would drift
+    behind their peers and break the synchrony bound.
+    """
+    loop = asyncio.get_running_loop()
+    ctx = AsyncContext(network, pid)
+    generator = factory(ctx)
+    queue = network.queue_for(pid)
+    tick_index = 0
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return pid, stop.value
+        tick_index += 1
+        delay = start_time + tick_index * network.tick_duration - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        envelopes: list[Envelope] = []
+        while not queue.empty():
+            envelopes.append(queue.get_nowait())
+        envelopes.sort(key=lambda e: e.sender)
+        ctx.advance(envelopes)
+
+
+class _AsyncByzantineApi:
+    """The :class:`~repro.runtime.byzantine.ByzantineApi` surface for
+    behaviors running over the asyncio transport."""
+
+    def __init__(
+        self,
+        network: AsyncNetwork,
+        pid: ProcessId,
+        tick: int,
+        inbox: list[Envelope],
+    ) -> None:
+        self._network = network
+        self._pid = pid
+        self.now = tick
+        self.inbox = inbox
+        self.rushed: list[Envelope] = []  # no rushing over real transports
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._network.config
+
+    @property
+    def suite(self) -> CryptoSuite:
+        return self._network.suite
+
+    @property
+    def signer(self) -> Signer:
+        return self._network.suite.signer(self._pid)
+
+    @property
+    def corrupted(self) -> frozenset[ProcessId]:
+        return frozenset(self._network.corrupted)
+
+    def send(self, to: ProcessId, payload: object) -> None:
+        self._network.post(
+            self._pid, to, payload, tick=self.now, scope="byzantine"
+        )
+
+    def broadcast(self, payload: object) -> None:
+        for to in self.config.processes:
+            if to != self._pid:
+                self.send(to, payload)
+
+    def emit(self, name: str, **data: Any) -> None:
+        self._network.trace.emit(
+            tick=self.now, pid=self._pid, scope="byzantine", name=name, **data
+        )
+
+
+async def _drive_behavior(
+    network: AsyncNetwork,
+    pid: ProcessId,
+    behavior: Any,
+    start_time: float,
+    stop: asyncio.Event,
+) -> None:
+    """Step a Byzantine behavior once per round until the run ends."""
+    loop = asyncio.get_running_loop()
+    queue = network.queue_for(pid)
+    tick = 0
+    while not stop.is_set():
+        envelopes: list[Envelope] = []
+        while not queue.empty():
+            envelopes.append(queue.get_nowait())
+        envelopes.sort(key=lambda e: e.sender)
+        behavior.step(_AsyncByzantineApi(network, pid, tick, envelopes))
+        tick += 1
+        delay = start_time + tick * network.tick_duration - loop.time()
+        if delay > 0:
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=delay)
+            except asyncio.TimeoutError:
+                pass
+
+
+async def run_async(
+    config: SystemConfig,
+    factories: dict[ProcessId, Callable],
+    *,
+    seed: int = 0,
+    tick_duration: float = 0.02,
+    latency: float = 0.0,
+    crashed: frozenset[ProcessId] = frozenset(),
+    byzantine: dict[ProcessId, Any] | None = None,
+) -> AsyncRunResult:
+    """Run one protocol instance over asyncio.
+
+    ``factories`` maps every correct pid to its protocol factory;
+    ``crashed`` processes never run (silent failures); ``byzantine``
+    maps corrupted pids to behavior objects with the same ``step(api)``
+    interface the deterministic simulator uses (minus rushing
+    visibility — real transports don't offer it).
+    """
+    byzantine = byzantine or {}
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    network = AsyncNetwork(
+        config, seed=seed, tick_duration=tick_duration, latency=latency
+    )
+    network.corrupted = set(crashed) | set(byzantine)
+    missing = [
+        pid
+        for pid in config.processes
+        if pid not in factories and pid not in network.corrupted
+    ]
+    if missing:
+        raise SchedulerError(f"processes {missing} have no protocol")
+    start_time = loop.time() + tick_duration
+    tasks = [
+        asyncio.create_task(
+            _drive_process(network, pid, factories[pid], start_time)
+        )
+        for pid in config.processes
+        if pid not in network.corrupted
+    ]
+    stop = asyncio.Event()
+    behavior_tasks = [
+        asyncio.create_task(
+            _drive_behavior(network, pid, behavior, start_time, stop)
+        )
+        for pid, behavior in byzantine.items()
+    ]
+    results = await asyncio.gather(*tasks)
+    stop.set()
+    for task in behavior_tasks:
+        await task
+    return AsyncRunResult(
+        config=config,
+        decisions=dict(results),
+        corrupted=frozenset(network.corrupted),
+        ledger=network.ledger,
+        trace=network.trace,
+        elapsed=loop.time() - started,
+    )

@@ -1,0 +1,305 @@
+"""Command-line interface: run, sweep, and inspect the protocols.
+
+Usage (installed as a module entry point):
+
+    python -m repro run bb --n 7 --value hello
+    python -m repro run weak-ba --n 9 --f 2 --adversary silent
+    python -m repro run strong-ba --n 7 --f 1 --seed 3
+    python -m repro run dolev-strong --n 7
+    python -m repro sweep bb --ns 5 9 13 --max-f 2
+    python -m repro flows --n 5 --f 0
+    python -m repro table1
+
+Every command prints the decision(s), the paper's complexity measures,
+and — where applicable — the per-layer word attribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.adversary.behaviors import GarbageSpammer, SilentBehavior
+from repro.adversary.protocol_attacks import WeakBaTeasingLeader
+from repro.adversary.strategies import (
+    CrashStrategy,
+    SilentStrategy,
+    StaticStrategy,
+)
+from repro.analysis.fitting import fit_slope_vs
+from repro.analysis.sweeps import (
+    sweep_byzantine_broadcast,
+    sweep_dolev_strong,
+    sweep_fallback_ba,
+    sweep_strong_ba,
+    sweep_weak_ba,
+)
+from repro.analysis.tables import format_table, render_points
+from repro.config import SystemConfig
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.strong_ba import run_strong_ba
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+from repro.fallback.dolev_strong import run_dolev_strong
+from repro.fallback.recursive_ba import run_fallback_ba
+
+ADVERSARIES = {
+    "silent": lambda pid: SilentBehavior(),
+    "garbage": lambda pid: GarbageSpammer(),
+    "teasing": lambda pid: WeakBaTeasingLeader(value="tease"),
+}
+
+SWEEPS = {
+    "bb": sweep_byzantine_broadcast,
+    "weak-ba": sweep_weak_ba,
+    "strong-ba": sweep_strong_ba,
+    "fallback": sweep_fallback_ba,
+    "dolev-strong": sweep_dolev_strong,
+}
+
+
+def _byzantine_map(config: SystemConfig, f: int, kind: str, seed: int, avoid):
+    import random
+
+    rng = random.Random(seed)
+    candidates = [p for p in config.processes if p not in avoid]
+    config.validate_failures(f)
+    targets = sorted(rng.sample(candidates, f))
+    factory = ADVERSARIES[kind]
+    return {pid: factory(pid) for pid in targets}
+
+
+def _report(result, label: str) -> None:
+    decision = result.unanimous_decision()
+    print(f"{label}: decided {decision!r}")
+    print(
+        f"  f={result.f}, words={result.correct_words}, "
+        f"messages={result.ledger.correct_messages}, "
+        f"signatures={result.ledger.signature_count()}, "
+        f"rounds={result.ticks}, "
+        f"fallback={'yes' if result.fallback_was_used() else 'no'}"
+    )
+    by_scope = result.ledger.words_by_scope()
+    if by_scope:
+        print("  layers:")
+        for scope, words in sorted(by_scope.items()):
+            print(f"    {scope:<24} {words} words")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = SystemConfig.with_optimal_resilience(args.n)
+    avoid = frozenset({0}) if args.protocol in ("bb", "dolev-strong") else frozenset()
+    byzantine = _byzantine_map(config, args.f, args.adversary, args.seed, avoid)
+    if args.protocol == "bb":
+        result = run_byzantine_broadcast(
+            config, sender=0, value=args.value, byzantine=byzantine,
+            seed=args.seed,
+        )
+    elif args.protocol == "weak-ba":
+        validity = lambda suite, cfg: ExternalValidity(
+            lambda v: isinstance(v, str)
+        )
+        inputs = {
+            p: args.value for p in config.processes if p not in byzantine
+        }
+        result = run_weak_ba(
+            config, inputs, validity, byzantine=byzantine, seed=args.seed
+        )
+    elif args.protocol == "strong-ba":
+        inputs = {
+            p: args.bit for p in config.processes if p not in byzantine
+        }
+        result = run_strong_ba(
+            config, inputs, byzantine=byzantine, seed=args.seed
+        )
+    elif args.protocol == "adaptive-strong-ba":
+        from repro.core.adaptive_strong_ba import run_adaptive_strong_ba
+
+        inputs = {
+            p: args.value for p in config.processes if p not in byzantine
+        }
+        result = run_adaptive_strong_ba(
+            config, inputs, byzantine=byzantine, seed=args.seed
+        )
+    elif args.protocol == "fallback":
+        inputs = {
+            p: args.value for p in config.processes if p not in byzantine
+        }
+        result = run_fallback_ba(
+            config, inputs, byzantine=byzantine, seed=args.seed
+        )
+    elif args.protocol == "dolev-strong":
+        result = run_dolev_strong(
+            config, sender=0, value=args.value, byzantine=byzantine,
+            seed=args.seed,
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown protocol {args.protocol}")
+    _report(result, f"{args.protocol} (n={config.n}, t={config.t})")
+    if getattr(args, "export", None):
+        from repro.analysis.export import save_run
+
+        path = save_run(result, args.export)
+        print(f"  run exported to {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = SWEEPS[args.protocol]
+    points = sweep(
+        args.ns,
+        fs=lambda c: range(0, min(args.max_f, c.t) + 1),
+        seeds=tuple(range(args.seeds)),
+    )
+    print(render_points(points))
+    failure_free = [p for p in points if p.f == 0]
+    if len({p.n for p in failure_free}) >= 2:
+        fit = fit_slope_vs(failure_free, lambda p: p.n, lambda p: p.words)
+        print(f"\nfailure-free words ~ n^{fit.slope:.2f} (R^2={fit.r_squared:.3f})")
+    return 0
+
+
+def cmd_flows(args: argparse.Namespace) -> int:
+    from repro.adversary.strategies import apply_strategy
+    from repro.analysis.flows import (
+        activity_timeline,
+        flow_matrix,
+        leader_centrality,
+        render_flow_matrix,
+    )
+    from repro.core.byzantine_broadcast import byzantine_broadcast_protocol
+    from repro.runtime.scheduler import Simulation
+
+    config = SystemConfig.with_optimal_resilience(args.n)
+    plan = SilentStrategy(avoid=frozenset({0})).plan(config, args.f, args.seed)
+    simulation = Simulation(config, seed=args.seed, record_envelopes=True)
+    apply_strategy(
+        simulation,
+        plan,
+        lambda pid: lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"),
+    )
+    result = simulation.run()
+    print("activity timeline:")
+    print(activity_timeline(result))
+    print("\nword-flow matrix (sender -> receiver):")
+    print(render_flow_matrix(flow_matrix(result.ledger, config.n)))
+    print("\ncentrality (share of words touching each process):")
+    for pid, share in leader_centrality(result.ledger, config.n).items():
+        print(f"  p{pid}: {share:.1%}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    ns = args.ns
+    rows = []
+    bb0 = sweep_byzantine_broadcast(ns, fs=lambda c: [0])
+    bbt = sweep_byzantine_broadcast(ns, fs=lambda c: [c.t])
+    wba0 = sweep_weak_ba(ns, fs=lambda c: [0])
+    sba0 = sweep_strong_ba(ns, fs=lambda c: [0])
+    fb = sweep_fallback_ba(ns, fs=lambda c: [0])
+
+    def slope(points):
+        return fit_slope_vs(points, lambda p: p.n, lambda p: p.words).slope
+
+    rows.append(["Byzantine Broadcast", "O(n(f+1))",
+                 f"n^{slope(bb0):.2f} (f=0)", f"n^{slope(bbt):.2f} (f=t)"])
+    rows.append(["Weak BA", "O(n(f+1))", f"n^{slope(wba0):.2f} (f=0)", "-"])
+    rows.append(["Strong BA (binary)", "O(n) if f=0",
+                 f"n^{slope(sba0):.2f} (f=0)", "-"])
+    rows.append(["Strong BA (Momose-Ren fallback)", "O(n^2)",
+                 f"n^{slope(fb):.2f}", "-"])
+    print("Table 1, measured (word-growth exponents):\n")
+    print(format_table(["protocol", "paper bound", "measured", "worst case"],
+                       rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive Byzantine Agreement (PODC 2022) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one protocol instance")
+    run_parser.add_argument(
+        "protocol",
+        choices=[
+            "bb",
+            "weak-ba",
+            "strong-ba",
+            "adaptive-strong-ba",
+            "fallback",
+            "dolev-strong",
+        ],
+    )
+    run_parser.add_argument("--n", type=int, default=7, help="odd, n = 2t+1")
+    run_parser.add_argument("--f", type=int, default=0, help="actual failures")
+    run_parser.add_argument(
+        "--adversary", choices=sorted(ADVERSARIES), default="silent"
+    )
+    run_parser.add_argument("--value", default="hello")
+    run_parser.add_argument("--bit", type=int, choices=[0, 1], default=1,
+                            help="strong-ba binary input")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write the full run (ledger + trace) to a JSON file",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="sweep (n, f) and fit slopes")
+    sweep_parser.add_argument("protocol", choices=sorted(SWEEPS))
+    sweep_parser.add_argument("--ns", type=int, nargs="+", default=[5, 9, 13])
+    sweep_parser.add_argument("--max-f", type=int, default=1)
+    sweep_parser.add_argument("--seeds", type=int, default=1)
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    flows_parser = sub.add_parser(
+        "flows", help="message-flow deep dive of one BB run"
+    )
+    flows_parser.add_argument("--n", type=int, default=5)
+    flows_parser.add_argument("--f", type=int, default=0)
+    flows_parser.add_argument("--seed", type=int, default=0)
+    flows_parser.set_defaults(func=cmd_flows)
+
+    table_parser = sub.add_parser(
+        "table1", help="regenerate the paper's Table 1 from measurements"
+    )
+    table_parser.add_argument("--ns", type=int, nargs="+", default=[5, 9, 13, 17])
+    table_parser.set_defaults(func=cmd_table1)
+
+    report_parser = sub.add_parser(
+        "report", help="run the condensed claim battery, emit markdown"
+    )
+    report_parser.add_argument("--ns", type=int, nargs="+", default=[5, 9, 13, 17])
+    report_parser.add_argument(
+        "--out", default=None, help="write the report to this file"
+    )
+    report_parser.set_defaults(func=cmd_report)
+    return parser
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import collect_claims, render_report
+
+    claims = collect_claims(tuple(args.ns))
+    text = render_report(claims)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text + "\n")
+        print(f"report written to {args.out}")
+    print(text)
+    return 0 if all(c.holds for c in claims) else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,326 @@
+"""Adaptive Byzantine Broadcast — the paper's Algorithms 1 and 2.
+
+``O(n(f+1))`` words, resilience ``n = 2t + 1``, built by reduction to
+weak BA (Section 5):
+
+1. **Dissemination** (Alg. 1 lines 1-4): the designated sender signs its
+   value and broadcasts; receivers adopt ``⟨v⟩_sender`` as their weak-BA
+   input.
+2. **Vetting** (Alg. 1 lines 5-8, Alg. 2): ``num_phases``
+   rotating-leader phases.  A leader *without* an input broadcasts a
+   ``help_req``; processes answer with their sender-signed value or a
+   signed ``idk``; the leader relays the sender-signed value, or an
+   ``idk`` certificate batched from ``t + 1`` idk signatures.  After the
+   first non-silent phase with a correct leader every correct process
+   holds a valid input, so later correct leaders stay silent — the
+   number of non-silent phases is ``O(f + 1)`` (Section 5.1).
+3. **Agreement** (lines 9-13): weak BA under ``BB_valid`` (a value is
+   valid iff sender-signed or ``t+1``-signed).  A sender-signed decision
+   maps to the sender's raw value; anything else (the idk certificate)
+   maps to ``⊥``.
+
+Why the predicate works (Section 5): if the sender is *correct*, no
+correct process ever says ``idk`` (everyone holds ``⟨v⟩_sender`` by the
+first round), so no ``t+1``-signed value can exist (Lemma 10) and the
+only valid value — hence the only possible weak-BA output — is the
+sender's.  If the sender is Byzantine, every correct process still
+enters the weak BA with *some* valid value (Lemma 11), so agreement on
+a common output is guaranteed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.config import ProcessId, RunParameters, SystemConfig
+from repro.core.validity import IDK_LABEL, BroadcastValidity
+from repro.core.values import BOTTOM
+from repro.core.weak_ba import weak_ba_protocol
+from repro.crypto.certificates import CertificateCollector, QuorumCertificate
+from repro.crypto.signatures import SignedValue, sign_value
+from repro.crypto.threshold import PartialSignature
+from repro.runtime.context import ProcessContext
+from repro.runtime.envelope import Envelope
+from repro.runtime.pool import MessagePool
+
+BB_PHASE_ROUNDS = 3
+"""Ticks per vetting phase: help_req, replies, leader relay.  The
+relayed value is delivered on the next phase's first tick and consumed
+from the message pool there."""
+
+
+def idk_statement(session: str) -> str:
+    """The statement ``t+1`` processes threshold-sign to certify "no
+    correct process holds the sender's value was withheld from us"."""
+    return f"idk:{session}"
+
+
+# ----------------------------------------------------------------------
+# Wire payloads
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BbSenderValue:
+    """Round 1 (Alg. 1 line 2): the sender-signed value ``⟨v⟩_sender``."""
+
+    session: str
+    signed: SignedValue
+
+    def words(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class BbHelpReq:
+    """Alg. 2 line 16: a valueless leader asks for help."""
+
+    session: str
+    phase: int
+
+    def words(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class BbValueReply:
+    """Alg. 2 line 19: ``⟨v_i, j⟩`` — the responder's current input."""
+
+    session: str
+    phase: int
+    value: object  # SignedValue or idk QuorumCertificate
+
+    def words(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class BbIdkReply:
+    """Alg. 2 line 21: a signed ``idk`` (a share of ``QC_idk``)."""
+
+    session: str
+    phase: int
+    partial: PartialSignature
+
+    def words(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class BbPhaseResult:
+    """Alg. 2 lines 24/27: the leader's relayed value or idk certificate."""
+
+    session: str
+    phase: int
+    value: object  # SignedValue or idk QuorumCertificate
+
+    def words(self) -> int:
+        return 1
+
+    def signatures(self) -> int:
+        if isinstance(self.value, QuorumCertificate):
+            return self.value.signatures()
+        return 1
+
+
+def _take_phase(
+    pool: MessagePool, payload_type: type, session: str, phase: int
+) -> list[Envelope]:
+    return pool.take_payloads(
+        payload_type,
+        lambda e: getattr(e.payload, "session", None) == session
+        and getattr(e.payload, "phase", None) == phase,
+    )
+
+
+def _vetting_phase(
+    ctx: ProcessContext,
+    pool: MessagePool,
+    session: str,
+    phase: int,
+    current_value: object,
+    validity: BroadcastValidity,
+) -> Generator[None, None, object]:
+    """Algorithm 2 (``invokePhase``): returns a valid value or ``None``.
+
+    ``None`` plays the role of the pseudocode's ``⊥`` return (line 31):
+    the caller keeps its previous input.
+    """
+    config = ctx.config
+    leader = config.leader_of_phase(phase)
+    is_leader = ctx.pid == leader
+
+    # Round 1 (lines 15-16): a leader with no input asks for help.
+    if is_leader and current_value is None:
+        ctx.emit("bb_phase_non_silent", phase=phase, leader=leader)
+        ctx.broadcast(BbHelpReq(session=session, phase=phase))
+    pool.extend((yield from ctx.sleep(1)))
+
+    # Round 2 (lines 17-21): answer the leader.
+    help_reqs = [
+        e
+        for e in _take_phase(pool, BbHelpReq, session, phase)
+        if e.sender == leader
+    ]
+    if help_reqs:
+        if current_value is not None:
+            ctx.send(
+                leader,
+                BbValueReply(session=session, phase=phase, value=current_value),
+            )
+        else:
+            partial = ctx.suite.partial_for_certificate(
+                ctx.pid,
+                IDK_LABEL,
+                config.small_quorum,
+                idk_statement(session),
+            )
+            ctx.send(
+                leader, BbIdkReply(session=session, phase=phase, partial=partial)
+            )
+    pool.extend((yield from ctx.sleep(1)))
+
+    # Round 3 (lines 22-27): the leader relays a valid value, or batches
+    # t+1 idk signatures into QC_idk.
+    if is_leader and current_value is None:
+        relayed = None
+        for envelope in _take_phase(pool, BbValueReply, session, phase):
+            reply = envelope.payload
+            if validity.validate(reply.value):
+                relayed = reply.value
+                if (
+                    isinstance(reply.value, SignedValue)
+                    and reply.value.signer == validity.sender
+                ):
+                    break  # prefer a sender-signed value (line 23)
+        if relayed is not None:
+            ctx.broadcast(BbPhaseResult(session=session, phase=phase, value=relayed))
+        else:
+            collector = CertificateCollector(
+                ctx.suite,
+                IDK_LABEL,
+                config.small_quorum,
+                idk_statement(session),
+            )
+            for envelope in _take_phase(pool, BbIdkReply, session, phase):
+                try:
+                    collector.add(envelope.payload.partial)
+                except Exception:
+                    continue
+            if collector.complete:
+                ctx.broadcast(
+                    BbPhaseResult(
+                        session=session, phase=phase, value=collector.certificate()
+                    )
+                )
+    pool.extend((yield from ctx.sleep(1)))
+
+    # Round 4 (lines 28-31): accept the leader's value if BB_valid.
+    for envelope in _take_phase(pool, BbPhaseResult, session, phase):
+        if envelope.sender != leader:
+            continue
+        if validity.validate(envelope.payload.value):
+            return envelope.payload.value
+        break
+    return None
+
+
+def byzantine_broadcast_protocol(
+    ctx: ProcessContext,
+    sender: ProcessId,
+    value: object = None,
+    *,
+    session: str = "bb",
+    num_phases: int | None = None,
+    pool: MessagePool | None = None,
+) -> Generator[None, None, object]:
+    """Algorithm 1: adaptive BB; ``value`` is used only by the sender.
+
+    Returns the broadcast decision: the sender's raw value, or ``⊥``
+    (only possible when the sender is Byzantine).  ``pool`` lets a
+    caller (e.g. the SMR app, chaining BB instances) share one message
+    pool across instances so early-delivered messages are never
+    stranded.
+    """
+    with ctx.scope("bb"):
+        config = ctx.config
+        phases = num_phases if num_phases is not None else config.n
+        validity = BroadcastValidity(ctx.suite, config, sender)
+        if pool is None:
+            pool = MessagePool()
+
+        # Round 1 (lines 1-4): dissemination.
+        if ctx.pid == sender:
+            ctx.broadcast(
+                BbSenderValue(session=session, signed=sign_value(ctx.signer, value))
+            )
+        pool.extend((yield from ctx.sleep(1)))
+
+        current_value: object = None
+        for envelope in pool.take_payloads(
+            BbSenderValue,
+            lambda e: e.payload.session == session and e.sender == sender,
+        ):
+            signed = envelope.payload.signed
+            if validity.validate(signed):
+                current_value = signed  # line 4: v_i <- ⟨v⟩_sender
+                break
+
+        # Lines 5-8: the vetting phases.
+        for phase in range(1, phases + 1):
+            returned = yield from _vetting_phase(
+                ctx, pool, session, phase, current_value, validity
+            )
+            if returned is not None:
+                current_value = returned  # line 8
+
+        # Line 9: the weak BA under BB_valid.
+        ba_decision = yield from weak_ba_protocol(
+            ctx,
+            current_value,
+            validity,
+            session=f"{session}/wba",
+            num_phases=phases,
+            pool=pool,
+        )
+
+        # Lines 10-13: map the weak-BA output to the BB decision.
+        if (
+            isinstance(ba_decision, SignedValue)
+            and ba_decision.signer == sender
+            and ba_decision.verify(ctx.suite.registry)
+        ):
+            decision = ba_decision.payload
+        else:
+            decision = BOTTOM
+        ctx.emit("decided", value=repr(decision))
+        return decision
+
+
+def run_byzantine_broadcast(
+    config: SystemConfig,
+    sender: ProcessId,
+    value: object,
+    *,
+    seed: int = 0,
+    byzantine: dict[ProcessId, Any] | None = None,
+    params: RunParameters | None = None,
+):
+    """Standalone driver: run adaptive BB over the simulator."""
+    from repro.runtime.scheduler import Simulation
+
+    byzantine = byzantine or {}
+    params = params or RunParameters()
+    simulation = Simulation(config, seed=seed, max_ticks=params.max_ticks)
+    for pid in config.processes:
+        if pid in byzantine:
+            simulation.add_byzantine(pid, byzantine[pid])
+        else:
+            simulation.add_process(
+                pid,
+                lambda ctx: byzantine_broadcast_protocol(
+                    ctx, sender, value, num_phases=params.num_phases
+                ),
+            )
+    return simulation.run()

@@ -1,0 +1,80 @@
+"""Canonical, injective byte encoding of protocol values for signing.
+
+Signatures must be computed over bytes.  Protocol payloads are built from
+a small vocabulary of Python values (ints, strings, bytes, bools, None,
+tuples/lists, frozen dataclasses, enums).  :func:`encode` maps any such
+value to a byte string such that distinct values never collide: every
+atom is length-prefixed and tagged with its type, and composites encode
+their structure.
+
+The encoding is *not* meant to be a wire format — the simulator passes
+Python objects directly — it exists solely so that signing and
+verification agree on what was signed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from typing import Any
+
+_TAG_NONE = b"N"
+_TAG_BOOL = b"B"
+_TAG_INT = b"I"
+_TAG_STR = b"S"
+_TAG_BYTES = b"Y"
+_TAG_TUPLE = b"T"
+_TAG_DATACLASS = b"D"
+_TAG_ENUM = b"E"
+_TAG_FROZENSET = b"F"
+
+
+def _with_length(tag: bytes, body: bytes) -> bytes:
+    return tag + struct.pack(">I", len(body)) + body
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` into a canonical, injective byte string.
+
+    >>> encode(("vote", 1)) == encode(["vote", 1])   # list == tuple
+    True
+    >>> encode(True) == encode(1)                    # but bool != int
+    False
+    >>> encode(("a", "bc")) == encode(("ab", "c"))   # no concatenation tricks
+    False
+
+    Raises
+    ------
+    TypeError
+        If ``value`` (or a nested component) is of an unsupported type.
+    """
+    if value is None:
+        return _TAG_NONE
+    # bool must be checked before int (bool is an int subclass).
+    if isinstance(value, bool):
+        return _TAG_BOOL + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        body = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        return _with_length(_TAG_INT, body)
+    if isinstance(value, str):
+        return _with_length(_TAG_STR, value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return _with_length(_TAG_BYTES, bytes(value))
+    if isinstance(value, enum.Enum):
+        body = encode(type(value).__name__) + encode(value.name)
+        return _with_length(_TAG_ENUM, body)
+    if isinstance(value, (tuple, list)):
+        body = b"".join(encode(item) for item in value)
+        return _with_length(_TAG_TUPLE, struct.pack(">I", len(value)) + body)
+    if isinstance(value, frozenset):
+        parts = sorted(encode(item) for item in value)
+        body = b"".join(parts)
+        return _with_length(_TAG_FROZENSET, struct.pack(">I", len(parts)) + body)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = dataclasses.fields(value)
+        body = encode(type(value).__name__) + b"".join(
+            encode(getattr(value, f.name)) for f in fields
+        )
+        return _with_length(_TAG_DATACLASS, body)
+    raise TypeError(f"cannot canonically encode value of type {type(value).__name__}")

@@ -1,0 +1,281 @@
+"""Typed quorum certificates and the per-deployment crypto suite.
+
+Protocols form certificates like ``QC_idk``, ``QC_commit(v)``,
+``QC_finalized(v)``, ``QC_fallback`` — each a threshold signature on a
+``(label, payload)`` pair.  The :class:`CryptoSuite` owns the PKI
+registry and one :class:`~repro.crypto.threshold.ThresholdScheme` per
+``(label, k)`` combination, dealt deterministically so every component
+of a deployment agrees on the schemes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.config import ProcessId, SystemConfig
+from repro.crypto.keys import KeyRegistry, Signer
+from repro.crypto.threshold import (
+    PartialSignature,
+    ThresholdScheme,
+    ThresholdSignature,
+)
+from repro.errors import InvalidCertificateError, ThresholdError
+
+
+def _bind(label: str, payload: object) -> tuple:
+    """The value actually threshold-signed for a certificate."""
+    return ("qc", label, payload)
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """A threshold-signed statement: ``label`` holds for ``payload``.
+
+    One word in the paper's complexity model regardless of the quorum
+    size that produced it.
+    """
+
+    label: str
+    payload: object
+    signature: ThresholdSignature
+
+    @property
+    def signers(self) -> frozenset[ProcessId]:
+        return self.signature.signers
+
+    def signatures(self) -> int:
+        """Individual signatures batched inside (lower-bound accounting)."""
+        return len(self.signature.signers)
+
+    def verify(self, suite: "CryptoSuite") -> bool:
+        scheme = suite.scheme_by_id(self.signature.scheme_id)
+        if scheme is None:
+            return False
+        return scheme.verify(self.signature, _bind(self.label, self.payload))
+
+    def words(self) -> int:
+        return 1
+
+
+class CryptoSuite:
+    """All cryptographic material for one deployment.
+
+    Parameters
+    ----------
+    config:
+        The deployment's :class:`~repro.config.SystemConfig` (supplies
+        ``n`` for share dealing).
+    seed:
+        Deterministic master seed for the PKI and every dealt scheme.
+    """
+
+    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+        self.config = config
+        self._master_seed = hashlib.sha256(
+            f"suite|{seed}|{config.n}|{config.t}".encode()
+        ).digest()
+        self.registry = KeyRegistry(config.n, master_seed=self._master_seed)
+        self._schemes: dict[str, ThresholdScheme] = {}
+
+    # ------------------------------------------------------------------
+    # Scheme management
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _scheme_id(
+        label: str, k: int, members: frozenset[ProcessId] | None
+    ) -> str:
+        if members is None:
+            return f"{label}|k={k}"
+        return f"{label}|k={k}|m={','.join(map(str, sorted(members)))}"
+
+    def scheme(
+        self,
+        label: str,
+        k: int,
+        members: frozenset[ProcessId] | None = None,
+    ) -> ThresholdScheme:
+        """Get (dealing on first use) the ``(k, n)`` scheme for ``label``.
+
+        ``members`` restricts share-holders to a committee — used by the
+        fallback's recursive committees, whose memberships are a
+        deterministic function of ``n`` and therefore part of the
+        trusted setup.
+        """
+        scheme_id = self._scheme_id(label, k, members)
+        existing = self._schemes.get(scheme_id)
+        if existing is None:
+            existing = ThresholdScheme(
+                scheme_id=scheme_id,
+                k=k,
+                n=self.config.n,
+                seed=self._master_seed,
+                members=members,
+            )
+            self._schemes[scheme_id] = existing
+        return existing
+
+    def scheme_by_id(self, scheme_id: str) -> ThresholdScheme | None:
+        """Resolve a scheme id carried inside a signature.
+
+        The parameters are parsed back out so verification works even if
+        this suite instance has not dealt the scheme yet (schemes are
+        dealt deterministically from the master seed).
+        """
+        existing = self._schemes.get(scheme_id)
+        if existing is not None:
+            return existing
+        members: frozenset[ProcessId] | None = None
+        body = scheme_id
+        if "|m=" in body:
+            body, _, members_part = body.rpartition("|m=")
+            try:
+                members = frozenset(int(p) for p in members_part.split(","))
+            except ValueError:
+                return None
+        label, _, k_part = body.rpartition("|k=")
+        if not label or not k_part.isdigit():
+            return None
+        k = int(k_part)
+        holder_count = len(members) if members is not None else self.config.n
+        if not 1 <= k <= holder_count:
+            return None
+        if members is not None and any(
+            pid not in self.config.processes for pid in members
+        ):
+            return None
+        return self.scheme(label, k, members)
+
+    def signer(self, pid: ProcessId) -> Signer:
+        """The individual-signature capability of process ``pid``."""
+        return self.registry.signer_for(pid)
+
+    # ------------------------------------------------------------------
+    # Certificate construction / verification helpers
+    # ------------------------------------------------------------------
+
+    def verify_certificate(
+        self,
+        certificate: QuorumCertificate,
+        label: str,
+        k: int,
+        members: frozenset[ProcessId] | None = None,
+    ) -> bool:
+        """Strict verification: the certificate must carry ``label`` AND
+        have been combined under the expected ``(k, n)`` scheme (with the
+        expected committee, if any).
+
+        Protocols must use this (not bare :meth:`QuorumCertificate.verify`)
+        when a specific quorum size is semantically required — otherwise
+        an adversary could present a certificate from a lower-threshold
+        scheme of the same label.
+        """
+        if not isinstance(certificate, QuorumCertificate):
+            return False
+        if certificate.label != label:
+            return False
+        scheme = self.scheme(label, k, members)
+        if certificate.signature.scheme_id != scheme.scheme_id:
+            return False
+        return scheme.verify(
+            certificate.signature, _bind(certificate.label, certificate.payload)
+        )
+
+    def partial_for_certificate(
+        self,
+        pid: ProcessId,
+        label: str,
+        k: int,
+        payload: object,
+        members: frozenset[ProcessId] | None = None,
+    ) -> PartialSignature:
+        """Process ``pid``'s share toward ``QC_label(payload)``."""
+        return self.scheme(label, k, members).partial_sign(pid, _bind(label, payload))
+
+    def verify_partial(
+        self,
+        partial: PartialSignature,
+        label: str,
+        k: int,
+        payload: object,
+        members: frozenset[ProcessId] | None = None,
+    ) -> bool:
+        return self.scheme(label, k, members).verify_partial(
+            partial, _bind(label, payload)
+        )
+
+    def combine_certificate(
+        self,
+        label: str,
+        k: int,
+        payload: object,
+        partials: Iterable[PartialSignature],
+        members: frozenset[ProcessId] | None = None,
+    ) -> QuorumCertificate:
+        """Batch partials into a certificate (Alg. 2 line 26 et al.)."""
+        signature = self.scheme(label, k, members).combine(partials)
+        certificate = QuorumCertificate(
+            label=label, payload=payload, signature=signature
+        )
+        if not certificate.verify(self):
+            raise InvalidCertificateError(
+                f"combined certificate for {label!r} does not verify; "
+                "partials were not signatures on this payload"
+            )
+        return certificate
+
+
+class CertificateCollector:
+    """Leader-side accumulator of partial signatures for one certificate.
+
+    Verifies each incoming partial, ignores duplicates and garbage, and
+    reports when the quorum ``k`` is reached.
+    """
+
+    def __init__(
+        self,
+        suite: CryptoSuite,
+        label: str,
+        k: int,
+        payload: object,
+        members: frozenset[ProcessId] | None = None,
+    ) -> None:
+        self._suite = suite
+        self._label = label
+        self._k = k
+        self._payload = payload
+        self._members = members
+        self._partials: dict[ProcessId, PartialSignature] = {}
+
+    @property
+    def count(self) -> int:
+        return len(self._partials)
+
+    @property
+    def complete(self) -> bool:
+        return len(self._partials) >= self._k
+
+    def add(self, partial: PartialSignature) -> bool:
+        """Add a partial if valid; return :attr:`complete` afterwards."""
+        if partial.signer not in self._partials and self._suite.verify_partial(
+            partial, self._label, self._k, self._payload, self._members
+        ):
+            self._partials[partial.signer] = partial
+        return self.complete
+
+    def certificate(self) -> QuorumCertificate:
+        """Combine the collected partials; requires :attr:`complete`."""
+        if not self.complete:
+            raise ThresholdError(
+                f"certificate {self._label!r} needs {self._k} partials, "
+                f"have {len(self._partials)}"
+            )
+        return self._suite.combine_certificate(
+            self._label,
+            self._k,
+            self._payload,
+            self._partials.values(),
+            self._members,
+        )

@@ -1,0 +1,110 @@
+"""Prime-field arithmetic used by the threshold signature scheme.
+
+The scheme in :mod:`repro.crypto.threshold` is linear over GF(p) for a
+fixed 256-bit prime ``PRIME`` (the secp256k1 base-field prime).  This
+module provides the few field operations the scheme needs: modular
+inverse, polynomial evaluation (for Shamir share dealing) and Lagrange
+interpolation at zero (for share combination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ThresholdError
+
+PRIME = 2**256 - 2**32 - 977
+"""The secp256k1 base-field prime; any 256-bit prime would do."""
+
+
+def normalize(x: int) -> int:
+    """Reduce ``x`` into ``[0, PRIME)``."""
+    return x % PRIME
+
+
+def add(a: int, b: int) -> int:
+    return (a + b) % PRIME
+
+
+def sub(a: int, b: int) -> int:
+    return (a - b) % PRIME
+
+
+def mul(a: int, b: int) -> int:
+    return (a * b) % PRIME
+
+
+def inv(a: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``PRIME``.
+
+    Raises
+    ------
+    ThresholdError
+        If ``a`` is congruent to zero (zero has no inverse).
+    """
+    a = a % PRIME
+    if a == 0:
+        raise ThresholdError("zero has no multiplicative inverse")
+    return pow(a, PRIME - 2, PRIME)
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A polynomial over GF(p), ``coefficients[i]`` multiplying ``x**i``."""
+
+    coefficients: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "coefficients", tuple(c % PRIME for c in self.coefficients)
+        )
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation of the polynomial at ``x``."""
+        result = 0
+        for coefficient in reversed(self.coefficients):
+            result = (result * x + coefficient) % PRIME
+        return result
+
+
+def lagrange_coefficients_at_zero(xs: Sequence[int]) -> list[int]:
+    """Lagrange basis coefficients ``lambda_i`` such that for any
+    polynomial ``f`` of degree ``< len(xs)``:
+
+        ``f(0) == sum(lambda_i * f(xs[i]))  (mod PRIME)``
+
+    The ``xs`` must be distinct and non-zero.
+    """
+    points = [x % PRIME for x in xs]
+    if len(set(points)) != len(points):
+        raise ThresholdError(f"interpolation points must be distinct: {xs}")
+    if any(x == 0 for x in points):
+        raise ThresholdError("interpolation points must be non-zero")
+    coefficients = []
+    for i, x_i in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(points):
+            if i == j:
+                continue
+            numerator = mul(numerator, x_j)
+            denominator = mul(denominator, sub(x_j, x_i))
+        coefficients.append(mul(numerator, inv(denominator)))
+    return coefficients
+
+
+def interpolate_at_zero(points: Iterable[tuple[int, int]]) -> int:
+    """Interpolate ``f(0)`` from ``(x, f(x))`` pairs with distinct ``x``."""
+    pairs = list(points)
+    xs = [x for x, _ in pairs]
+    ys = [y for _, y in pairs]
+    coefficients = lagrange_coefficients_at_zero(xs)
+    total = 0
+    for coefficient, y in zip(coefficients, ys):
+        total = add(total, mul(coefficient, y))
+    return total

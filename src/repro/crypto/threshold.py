@@ -1,0 +1,241 @@
+"""A ``(k, n)``-threshold signature scheme via Shamir secret sharing.
+
+The paper (Section 2) assumes an *ideal* threshold scheme: ``k`` unique
+signatures on the same message batch into one threshold signature the
+size of an individual signature.  We implement a real linear scheme:
+
+* A trusted dealer (the scheme object, playing the role of the paper's
+  trusted setup) samples a secret ``s`` and a degree-``k-1`` polynomial
+  ``P`` with ``P(0) = s`` over GF(p); process ``i`` holds the share
+  ``s_i = P(i + 1)``.
+* A partial signature on message ``m`` is ``sigma_i = s_i * H(m) mod p``.
+* Any ``k`` partials from distinct signers combine by Lagrange
+  interpolation at zero into ``sigma = s * H(m) mod p`` — one field
+  element regardless of ``k``, i.e. **one word**.
+* Verification checks ``sigma == s * H(m)``; the dealer retains ``s``
+  as the verification oracle (standing in for the pairing check of BLS
+  threshold signatures).
+
+Unforgeability is information-theoretic below the threshold: an
+adversary holding fewer than ``k`` shares learns nothing about ``s``, so
+it cannot produce ``s * H(m)`` except by guessing a 256-bit value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.config import ProcessId
+from repro.crypto import field
+from repro.crypto.canonical import encode
+from repro.errors import (
+    DuplicateShareError,
+    InsufficientSharesError,
+    ThresholdError,
+    UnknownSignerError,
+)
+
+
+def message_digest(payload: object) -> int:
+    """Hash a canonically encodable payload into a field element ``H(m)``.
+
+    The digest is forced non-zero so partial signatures never degenerate
+    (``sigma_i = 0`` would leak nothing but also verify for any secret).
+    """
+    raw = hashlib.sha256(b"tsig|" + encode(payload)).digest()
+    value = int.from_bytes(raw, "big") % field.PRIME
+    return value if value != 0 else 1
+
+
+@dataclass(frozen=True)
+class PartialSignature:
+    """One process's share-signature on a message."""
+
+    scheme_id: str
+    signer: ProcessId
+    digest: int
+    value: int
+
+    def words(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class ThresholdSignature:
+    """A combined ``(k, n)``-threshold signature: one word, any ``k``.
+
+    ``signers`` records which share-holders contributed — it is carried
+    for introspection and tests, not trusted for verification (the field
+    element ``value`` is self-authenticating against the dealer oracle).
+    """
+
+    scheme_id: str
+    digest: int
+    value: int
+    signers: frozenset[ProcessId]
+
+    def words(self) -> int:
+        """Threshold signatures batch k signatures into one word."""
+        return 1
+
+
+class ThresholdScheme:
+    """A dealt ``(k, n)`` scheme; also the verification oracle.
+
+    Parameters
+    ----------
+    scheme_id:
+        Distinguishes schemes (e.g. ``"idk:t+1"`` vs ``"commit"``) so
+        partials from different schemes can never be mixed.
+    k:
+        Combination threshold, ``1 <= k <= n``.
+    n:
+        Number of share-holders (process ids ``0 .. n-1``).
+    seed:
+        Deterministic dealer randomness.
+    """
+
+    def __init__(
+        self,
+        scheme_id: str,
+        k: int,
+        n: int,
+        seed: bytes = b"",
+        members: frozenset[ProcessId] | None = None,
+    ) -> None:
+        """``members`` restricts share dealing to a committee: only those
+        processes receive shares, so a ``k``-quorum provably comes from
+        the committee.  ``None`` deals to all ``n`` processes.
+        """
+        holders = sorted(members) if members is not None else list(range(n))
+        if members is not None and any(not 0 <= pid < n for pid in holders):
+            raise ThresholdError(f"members {holders} outside process range 0..{n - 1}")
+        if not 1 <= k <= len(holders):
+            raise ThresholdError(
+                f"need 1 <= k <= |holders|, got k={k}, holders={len(holders)}"
+            )
+        self._scheme_id = scheme_id
+        self._k = k
+        self._n = n
+        self._members = frozenset(holders)
+        material = hashlib.sha256(
+            b"dealer|" + seed + scheme_id.encode() + f"|{k}|{n}".encode()
+        ).digest()
+        coefficients = []
+        for i in range(k):
+            raw = hashlib.sha256(material + i.to_bytes(4, "big")).digest()
+            coefficients.append(int.from_bytes(raw, "big") % field.PRIME)
+        if coefficients[0] == 0:
+            coefficients[0] = 1
+        self._polynomial = field.Polynomial(tuple(coefficients))
+        self._secret = self._polynomial.evaluate(0)
+        self._shares = {
+            pid: self._polynomial.evaluate(pid + 1) for pid in holders
+        }
+
+    @property
+    def scheme_id(self) -> str:
+        return self._scheme_id
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def members(self) -> frozenset[ProcessId]:
+        """The share-holders (a committee, or all ``n`` processes)."""
+        return self._members
+
+    def _share_of(self, pid: ProcessId) -> int:
+        try:
+            return self._shares[pid]
+        except KeyError:
+            raise UnknownSignerError(
+                f"process {pid} holds no share in scheme {self._scheme_id!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Signing
+    # ------------------------------------------------------------------
+
+    def partial_sign(self, pid: ProcessId, payload: object) -> PartialSignature:
+        """Produce ``pid``'s partial signature on ``payload``."""
+        digest = message_digest(payload)
+        value = field.mul(self._share_of(pid), digest)
+        return PartialSignature(
+            scheme_id=self._scheme_id, signer=pid, digest=digest, value=value
+        )
+
+    def verify_partial(self, partial: PartialSignature, payload: object) -> bool:
+        """Check a single partial against the dealer's share table."""
+        if partial.scheme_id != self._scheme_id:
+            return False
+        digest = message_digest(payload)
+        if partial.digest != digest:
+            return False
+        try:
+            share = self._share_of(partial.signer)
+        except UnknownSignerError:
+            return False
+        return partial.value == field.mul(share, digest)
+
+    def combine(self, partials: Iterable[PartialSignature]) -> ThresholdSignature:
+        """Combine ``k`` (or more) distinct partials into one signature.
+
+        Raises
+        ------
+        InsufficientSharesError
+            Fewer than ``k`` distinct signers contributed.
+        DuplicateShareError
+            The same signer appears twice.
+        ThresholdError
+            Partials disagree on scheme or message.
+        """
+        chosen = list(partials)
+        if not chosen:
+            raise InsufficientSharesError("no partial signatures supplied")
+        signers = [p.signer for p in chosen]
+        if len(set(signers)) != len(signers):
+            raise DuplicateShareError(f"duplicate signers in {sorted(signers)}")
+        if any(p.scheme_id != self._scheme_id for p in chosen):
+            raise ThresholdError("partials from a different scheme")
+        digest = chosen[0].digest
+        if any(p.digest != digest for p in chosen):
+            raise ThresholdError("partials sign different messages")
+        if len(chosen) < self._k:
+            raise InsufficientSharesError(
+                f"scheme {self._scheme_id!r} needs {self._k} shares, "
+                f"got {len(chosen)}"
+            )
+        subset = chosen[: self._k]
+        points = [(p.signer + 1, p.value) for p in subset]
+        value = field.interpolate_at_zero(points)
+        return ThresholdSignature(
+            scheme_id=self._scheme_id,
+            digest=digest,
+            value=value,
+            signers=frozenset(p.signer for p in subset),
+        )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify(self, signature: ThresholdSignature, payload: object) -> bool:
+        """Check a combined signature against ``payload``.
+
+        This is the trusted verification oracle standing in for the
+        public pairing check of a production scheme.
+        """
+        if signature.scheme_id != self._scheme_id:
+            return False
+        digest = message_digest(payload)
+        if signature.digest != digest:
+            return False
+        return signature.value == field.mul(self._secret, digest)

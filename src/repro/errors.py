@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by library code derive from :class:`ReproError` so
+that applications can catch library failures with a single handler while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A :class:`~repro.config.SystemConfig` (or derived parameter) is invalid."""
+
+
+class CryptoError(ReproError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class UnknownSignerError(CryptoError):
+    """A signature references a process id that the PKI has never registered."""
+
+
+class InvalidSignatureError(CryptoError):
+    """Signature verification failed (wrong key, tampered message, forgery)."""
+
+
+class ThresholdError(CryptoError):
+    """A threshold-scheme operation was used incorrectly."""
+
+
+class InsufficientSharesError(ThresholdError):
+    """Fewer than ``k`` distinct partial signatures were supplied to combine."""
+
+
+class DuplicateShareError(ThresholdError):
+    """The same signer contributed more than one share to a combine call."""
+
+
+class InvalidCertificateError(CryptoError):
+    """A quorum certificate failed verification."""
+
+
+class RuntimeSimulationError(ReproError):
+    """Base class for errors in the synchronous runtime."""
+
+
+class ProtocolViolationError(RuntimeSimulationError):
+    """A *correct* process attempted an operation the model forbids.
+
+    Byzantine processes are allowed to misbehave; this error flags bugs in
+    protocol implementations, not adversarial behavior.
+    """
+
+
+class SchedulerError(RuntimeSimulationError):
+    """The simulator itself was driven incorrectly (e.g. run twice)."""
+
+
+class DeadlockError(RuntimeSimulationError):
+    """No process can make progress but not all protocols terminated."""
+
+
+class AgreementViolation(ReproError):
+    """Two correct processes decided different values (test/verifier use)."""
+
+
+class ValidityViolation(ReproError):
+    """A decision violates the protocol's validity property (test/verifier use)."""
+
+
+class TerminationViolation(ReproError):
+    """A correct process failed to decide within the allotted horizon."""

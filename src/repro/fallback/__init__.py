@@ -1,0 +1,31 @@
+"""The quadratic fallback substrate (``Afallback``) and classical baselines.
+
+The paper uses Momose–Ren's synchronous strong BA [14] as a black box
+with interface: *strong BA, resilience ``n = 2t + 1``, synchronous,
+``O(n^2)`` words*.  :func:`repro.fallback.recursive_ba.fallback_ba`
+provides exactly that interface with the same recursive structure
+(graded consensus + recursive halving committees) — see the module
+docstring for the correctness argument and DESIGN.md Section 3 for the
+substitution note.
+
+:mod:`repro.fallback.dolev_strong` implements the classical Dolev–Strong
+broadcast, the baseline whose *message* complexity matches the
+Dolev–Reischuk bound while its *word* complexity does not (Section 4's
+motivating discussion).
+"""
+
+from repro.fallback.dolev_strong import dolev_strong_protocol, run_dolev_strong
+from repro.fallback.graded_consensus import graded_consensus
+from repro.fallback.phase_king import phase_king_protocol, run_phase_king
+from repro.fallback.recursive_ba import ba_rounds, fallback_ba, run_fallback_ba
+
+__all__ = [
+    "graded_consensus",
+    "fallback_ba",
+    "run_fallback_ba",
+    "ba_rounds",
+    "dolev_strong_protocol",
+    "run_dolev_strong",
+    "phase_king_protocol",
+    "run_phase_king",
+]

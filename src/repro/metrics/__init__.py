@@ -1,0 +1,10 @@
+"""Word-complexity accounting (the paper's Section 2 complexity model)."""
+
+from repro.metrics.words import (
+    WordLedger,
+    WordRecord,
+    payload_signatures,
+    payload_words,
+)
+
+__all__ = ["WordLedger", "WordRecord", "payload_words", "payload_signatures"]

@@ -1,0 +1,35 @@
+"""Deterministic synchronous message-passing runtime.
+
+The paper's model (Section 2): a synchronous network of ``n`` processes
+connected by reliable authenticated links, message delay bounded by a
+known ``delta``.  This runtime realizes that model as a tick-based
+simulator:
+
+* time advances in integer **ticks**; ``delta`` is one tick — a message
+  sent by a correct process at tick ``T`` is delivered at tick ``T + 1``;
+* correct processes are **generator coroutines**: each ``yield``
+  advances one tick and resumes with the envelopes delivered at the new
+  tick; sub-protocols compose with ``yield from``;
+* Byzantine processes are driven by adversary behaviors that act *after*
+  the correct processes in each tick and may peek at in-flight traffic
+  addressed to them (a rushing adversary);
+* every send is recorded in a :class:`~repro.metrics.words.WordLedger`
+  and the event :class:`~repro.runtime.trace.Trace`.
+"""
+
+from repro.runtime.envelope import Envelope
+from repro.runtime.context import ProcessContext
+from repro.runtime.pool import MessagePool
+from repro.runtime.result import RunResult
+from repro.runtime.scheduler import Simulation
+from repro.runtime.trace import Trace, TraceEvent
+
+__all__ = [
+    "Envelope",
+    "ProcessContext",
+    "MessagePool",
+    "RunResult",
+    "Simulation",
+    "Trace",
+    "TraceEvent",
+]

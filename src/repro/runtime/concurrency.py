@@ -1,0 +1,68 @@
+"""Round-level concurrency: run several sub-protocols in lockstep.
+
+:func:`join` interleaves protocol generators over one context: every
+tick, each still-running branch is advanced by one ``yield``.  All
+branches observe the same ``ctx.inbox``; because the protocols consume
+messages through session-tagged :class:`~repro.runtime.pool.MessagePool`
+filters, each branch simply ignores the others' traffic.  Requirements:
+
+* branches must use **distinct sessions** (message tags must not
+  collide — certificates are already session-bound, so cross-branch
+  forgery is impossible either way);
+* branches must be pool-based in the standard style (every protocol in
+  this library is);
+* branches advance exactly one round per ``join`` round, so a branch's
+  internal round schedule is preserved relative to the shared clock.
+
+Scope attribution stays correct: each branch's scope stack is swapped
+in before it is resumed and parked when it yields, so interleaved
+``with ctx.scope(...)`` blocks do not contaminate each other.
+
+The flagship use is slot pipelining in the SMR app
+(:mod:`repro.apps.pipelined`): ``k`` Byzantine-Broadcast slots in
+flight at once divide the log's per-slot latency by ``k`` without
+touching the protocol code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.runtime.context import ProcessContext
+
+_PENDING = object()
+
+
+def join(
+    ctx: ProcessContext,
+    branches: Sequence[Generator[None, None, Any]],
+) -> Generator[None, None, list[Any]]:
+    """Run ``branches`` concurrently; return their results in order.
+
+    Each round, every unfinished branch is advanced once; the joint
+    generator then yields once.  Finished branches keep their return
+    values; the join returns when the last branch finishes.
+    """
+    results: list[Any] = [_PENDING] * len(branches)
+    stacks: list[list[str]] = [list() for _ in branches]
+    base_stack = ctx.swap_scope_stack(list())
+    ctx.swap_scope_stack(base_stack)
+
+    while any(r is _PENDING for r in results):
+        for index, branch in enumerate(branches):
+            if results[index] is not _PENDING:
+                continue
+            previous = ctx.swap_scope_stack(
+                list(base_stack) + stacks[index]
+            )
+            try:
+                next(branch)
+                # Park this branch's scope additions for its next turn.
+                full = ctx.swap_scope_stack(previous)
+                stacks[index] = full[len(base_stack):]
+            except StopIteration as stop:
+                ctx.swap_scope_stack(previous)
+                results[index] = stop.value
+        if any(r is _PENDING for r in results):
+            yield
+    return list(results)

@@ -1,0 +1,141 @@
+"""Per-process execution context for correct processes.
+
+A correct process is a generator function ``protocol(ctx)`` that:
+
+* sends with :meth:`ProcessContext.send` / :meth:`broadcast`;
+* advances one tick (= one ``delta``) with a bare ``yield``, after which
+  :attr:`ProcessContext.inbox` holds the envelopes delivered this tick;
+* composes sub-protocols with ``yield from`` (same context flows down);
+* returns its decision.
+
+Scopes
+------
+:meth:`scope` pushes a protocol-layer label (``"bb"``, ``"weak_ba"``,
+``"fallback"``) onto the context; every send and event is attributed to
+the current scope path, which is how the Figure 1 composition benchmark
+knows which layer paid for which word.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Generator, Iterator
+
+from repro.config import ProcessId, SystemConfig
+from repro.crypto.certificates import CryptoSuite
+from repro.crypto.keys import Signer
+from repro.runtime.envelope import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.scheduler import Simulation
+
+
+class ProcessContext:
+    """Everything a correct process can see and do."""
+
+    def __init__(self, simulation: "Simulation", pid: ProcessId) -> None:
+        self._simulation = simulation
+        self._pid = pid
+        self._signer: Signer = simulation.suite.signer(pid)
+        self._scope_stack: list[str] = []
+        self.inbox: list[Envelope] = []
+        self.rng = random.Random(
+            (simulation.seed * 1_000_003 + pid) & 0xFFFFFFFF
+        )
+
+    # ------------------------------------------------------------------
+    # Identity / environment
+    # ------------------------------------------------------------------
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._simulation.config
+
+    @property
+    def suite(self) -> CryptoSuite:
+        return self._simulation.suite
+
+    @property
+    def signer(self) -> Signer:
+        return self._signer
+
+    @property
+    def now(self) -> int:
+        """Current tick (the paper's ``now``); ``delta`` is one tick."""
+        return self._simulation.tick
+
+    @property
+    def scope_path(self) -> str:
+        return "/".join(self._scope_stack) or "top"
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+
+    def send(self, to: ProcessId, payload: object) -> None:
+        """Send ``payload`` to ``to``; it is delivered next tick."""
+        self._simulation.enqueue_send(self._pid, to, payload, self.scope_path)
+
+    def broadcast(self, payload: object, include_self: bool = True) -> None:
+        """Send ``payload`` to every process (self-delivery is free).
+
+        The paper's "broadcast to all" includes the sender acting on its
+        own message; set ``include_self=False`` where the pseudocode
+        clearly excludes it.
+        """
+        for to in self.config.processes:
+            if to == self._pid and not include_self:
+                continue
+            self.send(to, payload)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def emit(self, name: str, **data: Any) -> None:
+        """Record a structured trace event."""
+        self._simulation.trace.emit(
+            tick=self.now, pid=self._pid, scope=self.scope_path, name=name, **data
+        )
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Attribute sends/events inside the block to protocol layer ``name``."""
+        self._scope_stack.append(name)
+        try:
+            yield
+        finally:
+            self._scope_stack.pop()
+
+    def swap_scope_stack(self, stack: list[str]) -> list[str]:
+        """Swap in another scope stack, returning the previous one.
+
+        Used by :func:`repro.runtime.concurrency.join` to keep the scope
+        attribution of interleaved sub-protocols from contaminating each
+        other: each branch's stack is saved when it yields and restored
+        before it is resumed.
+        """
+        previous = self._scope_stack
+        self._scope_stack = stack
+        return previous
+
+    # ------------------------------------------------------------------
+    # Waiting helpers (sub-generators; use with ``yield from``)
+    # ------------------------------------------------------------------
+
+    def sleep(self, ticks: int) -> Generator[None, None, list[Envelope]]:
+        """Wait ``ticks`` ticks; return all envelopes delivered meanwhile."""
+        collected: list[Envelope] = []
+        for _ in range(ticks):
+            yield
+            collected.extend(self.inbox)
+        return collected
+
+    def next_round(self) -> Generator[None, None, list[Envelope]]:
+        """Advance one synchronous round (= one tick = one ``delta``)."""
+        return (yield from self.sleep(1))

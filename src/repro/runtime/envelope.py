@@ -1,0 +1,31 @@
+"""Envelopes: messages in flight.
+
+Links are *authenticated*: the receiver learns the true sender id (the
+simulator stamps it; a Byzantine process cannot spoof another process's
+id on the wire, matching the paper's reliable-link assumption).  Payload
+authenticity beyond the channel — "this value originated at the sender"
+— is the job of signatures, which Byzantine processes cannot forge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ProcessId
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One delivered message."""
+
+    sender: ProcessId
+    receiver: ProcessId
+    payload: object
+    sent_at: int
+    delivered_at: int
+
+    def __repr__(self) -> str:  # compact traces
+        return (
+            f"Envelope({self.sender}->{self.receiver} @{self.delivered_at}: "
+            f"{type(self.payload).__name__})"
+        )

@@ -1,0 +1,60 @@
+"""A message pool for round-skew-tolerant protocols.
+
+Lemma 18 of the paper runs the fallback with round length ``2 * delta``
+because correct processes may enter it up to ``delta`` apart; a round-
+``r`` message can therefore arrive while the receiver is still in round
+``r - 1``.  Protocols written against :class:`MessagePool` simply feed
+every delivered envelope into the pool and *take* messages matching the
+round they are logically in — earlier-than-expected messages wait in the
+pool instead of being dropped, realizing Lemma 18's acceptance window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.runtime.envelope import Envelope
+
+
+class MessagePool:
+    """Holds delivered envelopes until the protocol consumes them."""
+
+    def __init__(self) -> None:
+        self._envelopes: list[Envelope] = []
+
+    def __len__(self) -> int:
+        return len(self._envelopes)
+
+    def __iter__(self) -> Iterator[Envelope]:
+        return iter(self._envelopes)
+
+    def extend(self, envelopes: Iterable[Envelope]) -> None:
+        self._envelopes.extend(envelopes)
+
+    def take(self, predicate: Callable[[Envelope], bool]) -> list[Envelope]:
+        """Remove and return every pooled envelope matching ``predicate``."""
+        matched: list[Envelope] = []
+        remaining: list[Envelope] = []
+        for envelope in self._envelopes:
+            if predicate(envelope):
+                matched.append(envelope)
+            else:
+                remaining.append(envelope)
+        self._envelopes = remaining
+        return matched
+
+    def take_payloads(
+        self, payload_type: type, predicate: Callable[[Envelope], bool] | None = None
+    ) -> list[Envelope]:
+        """Remove and return envelopes whose payload is ``payload_type``."""
+
+        def matches(envelope: Envelope) -> bool:
+            if not isinstance(envelope.payload, payload_type):
+                return False
+            return predicate is None or predicate(envelope)
+
+        return self.take(matches)
+
+    def peek(self, predicate: Callable[[Envelope], bool]) -> list[Envelope]:
+        """Return matching envelopes without removing them."""
+        return [e for e in self._envelopes if predicate(e)]

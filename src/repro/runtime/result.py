@@ -1,0 +1,85 @@
+"""The outcome of one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import ProcessId, SystemConfig
+from repro.errors import AgreementViolation
+from repro.metrics.words import WordLedger
+from repro.runtime.trace import Trace
+
+
+@dataclass
+class RunResult:
+    """Decisions, complexity accounting, and the full trace of a run."""
+
+    config: SystemConfig
+    decisions: dict[ProcessId, Any]
+    """Return value of each *correct* process's protocol generator."""
+
+    corrupted: frozenset[ProcessId]
+    """Processes that were Byzantine at any point of the run."""
+
+    ledger: WordLedger
+    trace: Trace
+    ticks: int
+    halted_at: dict[ProcessId, int] = field(default_factory=dict)
+    envelopes: tuple = ()
+    """Raw sent envelopes (populated when the simulation was created
+    with ``record_envelopes=True``)."""
+
+    # ------------------------------------------------------------------
+    # Convenience accessors used throughout tests and benchmarks
+    # ------------------------------------------------------------------
+
+    @property
+    def f(self) -> int:
+        """Actual number of corrupted processes in the run."""
+        return len(self.corrupted)
+
+    @property
+    def correct_pids(self) -> list[ProcessId]:
+        return [p for p in self.config.processes if p not in self.corrupted]
+
+    @property
+    def correct_words(self) -> int:
+        """The paper's communication-complexity measure for this run."""
+        return self.ledger.correct_words
+
+    def unanimous_decision(self) -> Any:
+        """The single value all correct processes decided.
+
+        Raises
+        ------
+        AgreementViolation
+            If correct processes decided differently (or some did not
+            decide) — callers use this as the agreement check.
+        """
+        values = [self.decisions.get(p, _MISSING) for p in self.correct_pids]
+        if any(v is _MISSING for v in values):
+            missing = [
+                p for p in self.correct_pids if self.decisions.get(p, _MISSING) is _MISSING
+            ]
+            raise AgreementViolation(f"processes {missing} did not decide")
+        first = values[0]
+        for pid, value in zip(self.correct_pids, values):
+            if value != first:
+                raise AgreementViolation(
+                    f"process {self.correct_pids[0]} decided {first!r} but "
+                    f"process {pid} decided {value!r}"
+                )
+        return first
+
+    def fallback_was_used(self) -> bool:
+        """Whether any correct process entered a fallback execution."""
+        return self.trace.any("fallback_started")
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,271 @@
+"""The tick-based synchronous scheduler.
+
+Execution model per tick ``T``:
+
+1. scheduled mid-run corruptions for ``T`` are applied (the adaptive
+   adversary of Section 2);
+2. envelopes sent at ``T - 1`` are delivered;
+3. correct processes are resumed (in pid order) with their deliveries;
+   sends they make are stamped ``sent_at = T`` and due at ``T + 1``;
+4. Byzantine behaviors are stepped, seeing both their deliveries and the
+   honest messages addressed to them that were sent *this* tick
+   (rushing);
+5. the tick counter advances.
+
+The run ends when every correct process's generator has returned; the
+generators' return values are the decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.config import ProcessId, SystemConfig
+from repro.crypto.certificates import CryptoSuite
+from repro.errors import SchedulerError, TerminationViolation
+from repro.metrics.words import WordLedger
+from repro.runtime.byzantine import ByzantineApi, ByzantineBehavior
+from repro.runtime.context import ProcessContext
+from repro.runtime.envelope import Envelope
+from repro.runtime.result import RunResult
+from repro.runtime.trace import Trace
+
+ProtocolFactory = Callable[[ProcessContext], Generator[None, None, Any]]
+"""A correct process: ``factory(ctx)`` returns the protocol generator."""
+
+
+class Simulation:
+    """One configured run of a protocol over the synchronous network."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        seed: int = 0,
+        suite: CryptoSuite | None = None,
+        max_ticks: int = 100_000,
+        record_envelopes: bool = False,
+        inbox_order: str = "sender",
+    ) -> None:
+        """``inbox_order``: ``"sender"`` (default) delivers each tick's
+        inbox sorted by sender id; ``"random"`` applies a seeded shuffle
+        instead — the synchronous model allows any within-``delta``
+        ordering, so protocols must not depend on it (stress knob for
+        tests)."""
+        self.config = config
+        self.seed = seed
+        self.suite = suite if suite is not None else CryptoSuite(config, seed=seed)
+        self.max_ticks = max_ticks
+        self.ledger = WordLedger()
+        self.trace = Trace()
+        self.record_envelopes = record_envelopes
+        self.envelopes: list[Envelope] = []
+        """Every sent envelope, when ``record_envelopes`` is on — the raw
+        material for message-flow analysis (:mod:`repro.analysis.flows`)."""
+        if inbox_order not in ("sender", "random"):
+            raise SchedulerError(
+                f"inbox_order must be 'sender' or 'random', got {inbox_order!r}"
+            )
+        self.inbox_order = inbox_order
+        import random as _random
+
+        self._inbox_rng = _random.Random(seed ^ 0x1B0C)
+        self.tick = 0
+        self._factories: dict[ProcessId, ProtocolFactory] = {}
+        self._behaviors: dict[ProcessId, ByzantineBehavior] = {}
+        self._scheduled_corruptions: dict[int, list[tuple[ProcessId, ByzantineBehavior]]] = {}
+        self._due: dict[int, list[Envelope]] = {}
+        self._seq = 0
+        self._started = False
+        self.corrupted_now: set[ProcessId] = set()
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+
+    def add_process(self, pid: ProcessId, factory: ProtocolFactory) -> None:
+        """Register a correct process running ``factory(ctx)``."""
+        self._check_unregistered(pid)
+        self._factories[pid] = factory
+
+    def add_byzantine(self, pid: ProcessId, behavior: ByzantineBehavior) -> None:
+        """Register a process corrupted from the start."""
+        self._check_unregistered(pid)
+        self._behaviors[pid] = behavior
+        self.corrupted_now.add(pid)
+
+    def schedule_corruption(
+        self, tick: int, pid: ProcessId, behavior: ByzantineBehavior
+    ) -> None:
+        """Adaptive adversary: corrupt ``pid`` at the start of ``tick``.
+
+        ``pid`` must have been registered as a correct process; from
+        ``tick`` on, its generator is discarded and ``behavior`` acts.
+        """
+        if tick < 0:
+            raise SchedulerError(f"corruption tick must be >= 0, got {tick}")
+        self._scheduled_corruptions.setdefault(tick, []).append((pid, behavior))
+
+    def _check_unregistered(self, pid: ProcessId) -> None:
+        if pid in self._factories or pid in self._behaviors:
+            raise SchedulerError(f"process {pid} registered twice")
+        if pid not in self.config.processes:
+            raise SchedulerError(
+                f"process {pid} outside configured range 0..{self.config.n - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    # Sending (called by contexts / byzantine api)
+    # ------------------------------------------------------------------
+
+    def enqueue_send(
+        self, sender: ProcessId, to: ProcessId, payload: object, scope: str
+    ) -> None:
+        self._enqueue(sender, to, payload, scope=scope, sender_correct=True)
+
+    def enqueue_byzantine_send(
+        self, sender: ProcessId, to: ProcessId, payload: object
+    ) -> None:
+        self._enqueue(sender, to, payload, scope="byzantine", sender_correct=False)
+
+    def _enqueue(
+        self,
+        sender: ProcessId,
+        to: ProcessId,
+        payload: object,
+        *,
+        scope: str,
+        sender_correct: bool,
+    ) -> None:
+        if to not in self.config.processes:
+            raise SchedulerError(f"send to unknown process {to}")
+        envelope = Envelope(
+            sender=sender,
+            receiver=to,
+            payload=payload,
+            sent_at=self.tick,
+            delivered_at=self.tick + 1,
+        )
+        self.ledger.record(
+            tick=self.tick,
+            sender=sender,
+            receiver=to,
+            payload=payload,
+            scope=scope,
+            sender_correct=sender_correct,
+        )
+        self._due.setdefault(self.tick + 1, []).append(envelope)
+        if self.record_envelopes:
+            self.envelopes.append(envelope)
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the run to completion and return its result."""
+        if self._started:
+            raise SchedulerError("a Simulation can only be run once")
+        self._started = True
+        self._validate_population()
+
+        contexts: dict[ProcessId, ProcessContext] = {}
+        generators: dict[ProcessId, Generator[None, None, Any]] = {}
+        for pid, factory in self._factories.items():
+            ctx = ProcessContext(self, pid)
+            contexts[pid] = ctx
+            generators[pid] = factory(ctx)
+
+        decisions: dict[ProcessId, Any] = {}
+        halted_at: dict[ProcessId, int] = {}
+        ever_corrupted: set[ProcessId] = set(self.corrupted_now)
+
+        while generators:
+            if self.tick > self.max_ticks:
+                raise TerminationViolation(
+                    f"run exceeded max_ticks={self.max_ticks}; "
+                    f"{sorted(generators)} never decided"
+                )
+
+            for pid, behavior in self._scheduled_corruptions.pop(self.tick, []):
+                if pid in generators:
+                    generators.pop(pid)
+                    contexts.pop(pid)
+                if pid not in self._behaviors:
+                    self._behaviors[pid] = behavior
+                    self.corrupted_now.add(pid)
+                    ever_corrupted.add(pid)
+                    self.trace.emit(
+                        tick=self.tick,
+                        pid=pid,
+                        scope="adversary",
+                        name="corrupted",
+                    )
+
+            deliveries = self._due.pop(self.tick, [])
+            inboxes: dict[ProcessId, list[Envelope]] = {}
+            for envelope in deliveries:
+                inboxes.setdefault(envelope.receiver, []).append(envelope)
+            for inbox in inboxes.values():
+                if self.inbox_order == "random":
+                    self._inbox_rng.shuffle(inbox)
+                else:
+                    inbox.sort(key=lambda e: e.sender)
+
+            for pid in sorted(generators):
+                ctx = contexts[pid]
+                ctx.inbox = inboxes.get(pid, [])
+                try:
+                    next(generators[pid])
+                except StopIteration as stop:
+                    decisions[pid] = stop.value
+                    halted_at[pid] = self.tick
+                    del generators[pid]
+                    del contexts[pid]
+
+            if generators:  # adversary acts only while the run is live
+                rushing = self._due.get(self.tick + 1, [])
+                for pid in sorted(self._behaviors):
+                    api = ByzantineApi(
+                        simulation=self,
+                        pid=pid,
+                        inbox=inboxes.get(pid, []),
+                        rushed=[
+                            e
+                            for e in rushing
+                            if e.receiver == pid
+                            and e.sender not in self.corrupted_now
+                        ],
+                    )
+                    self._behaviors[pid].step(api)
+
+            self.tick += 1
+
+        return RunResult(
+            config=self.config,
+            decisions=decisions,
+            corrupted=frozenset(ever_corrupted),
+            ledger=self.ledger,
+            trace=self.trace,
+            ticks=self.tick,
+            halted_at=halted_at,
+            envelopes=tuple(self.envelopes),
+        )
+
+    def _validate_population(self) -> None:
+        scheduled = {
+            pid
+            for entries in self._scheduled_corruptions.values()
+            for pid, _ in entries
+        }
+        for pid in self.config.processes:
+            if pid not in self._factories and pid not in self._behaviors:
+                raise SchedulerError(
+                    f"process {pid} has neither a protocol nor a behavior"
+                )
+        for pid in scheduled:
+            if pid in self._behaviors:
+                raise SchedulerError(
+                    f"process {pid} is already Byzantine; cannot re-corrupt"
+                )

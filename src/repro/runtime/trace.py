@@ -1,0 +1,67 @@
+"""Structured event trace of a simulation run.
+
+Protocols emit events (``phase_non_silent``, ``fallback_started``,
+``decided`` ...) through :meth:`ProcessContext.emit`; benchmarks and
+tests read them back to verify the paper's structural claims (silent
+phase counts, Lemma 6 / Lemma 8 fallback activation, Figure 1's
+composition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.config import ProcessId
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One emitted event."""
+
+    tick: int
+    pid: ProcessId
+    scope: str
+    name: str
+    data: tuple[tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.data:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def emit(
+        self, *, tick: int, pid: ProcessId, scope: str, name: str, **data: Any
+    ) -> None:
+        self.events.append(
+            TraceEvent(
+                tick=tick,
+                pid=pid,
+                scope=scope,
+                name=name,
+                data=tuple(sorted(data.items())),
+            )
+        )
+
+    def named(self, name: str) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.name == name)
+
+    def count(self, name: str) -> int:
+        return sum(1 for e in self.events if e.name == name)
+
+    def any(self, name: str) -> bool:
+        return any(e.name == name for e in self.events)
+
+    def by_pid(self, pid: ProcessId) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.pid == pid)
+
+    def scopes(self) -> set[str]:
+        return {e.scope for e in self.events}

@@ -1,0 +1,34 @@
+"""Post-run verification: check a RunResult against the paper's properties.
+
+:func:`verify_run` audits agreement, termination, validity, the
+decide-at-most-once rule (Lemma 23), Lemma 6's fallback threshold, and
+an optional word budget — returning a structured report instead of
+raising, so tests, benchmarks, and applications can all consume it.
+"""
+
+from repro.verify.checker import (
+    Report,
+    Violation,
+    adaptive_word_budget,
+    quadratic_word_budget,
+    verify_run,
+)
+from repro.verify.forensics import ForensicsReport, audit_envelopes
+from repro.verify.problems import (
+    verify_byzantine_broadcast,
+    verify_strong_ba,
+    verify_weak_ba,
+)
+
+__all__ = [
+    "verify_run",
+    "Report",
+    "Violation",
+    "adaptive_word_budget",
+    "quadratic_word_budget",
+    "verify_byzantine_broadcast",
+    "verify_strong_ba",
+    "verify_weak_ba",
+    "audit_envelopes",
+    "ForensicsReport",
+]

@@ -1,0 +1,198 @@
+"""The run auditor.
+
+Given a :class:`~repro.runtime.result.RunResult`, check every property
+the paper's theorems promise and report violations as data:
+
+* **Agreement** — no two correct processes decided differently
+  (Theorem 4 / 5 / 7 via Lemmas 12, 20, 26);
+* **Termination** — every correct process decided (Lemmas 21, 27);
+* **Validity** — pluggable: an expected value (BB validity / strong
+  unanimity) or a predicate plus bottom-handling (unique validity);
+* **Decide-once** — at most one ``decided``-class event per correct
+  process (Lemmas 23, 29);
+* **Lemma 6** — no fallback activation when ``f < (n-t-1)/2`` *and*
+  the corruption set was silent-style from the start (callers opt in,
+  since crafty adversaries may legitimately push runs into fallback at
+  smaller ``f``);
+* **Word budget** — measured words within a caller-supplied bound,
+  e.g. :func:`adaptive_word_budget`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.values import BOTTOM, UNDECIDED
+from repro.runtime.result import RunResult
+
+DECISION_EVENTS = (
+    "decided",
+    "wba_decided_in_phase",
+    "wba_decided_by_help",
+    "wba_decided_by_fallback",
+    "sba_decided_fast",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation found during verification."""
+
+    kind: str
+    detail: str
+
+
+@dataclass
+class Report:
+    """The verifier's findings for one run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    checked: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, detail: str) -> None:
+        self.violations.append(Violation(kind=kind, detail=detail))
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"OK ({', '.join(self.checked)})"
+        lines = [f"{len(self.violations)} violation(s):"]
+        lines += [f"  [{v.kind}] {v.detail}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def adaptive_word_budget(constant: float = 30.0) -> Callable[[RunResult], float]:
+    """The paper's O(n(f+1)) bound with an explicit constant."""
+
+    def budget(result: RunResult) -> float:
+        return constant * result.config.n * (result.f + 1)
+
+    return budget
+
+
+def quadratic_word_budget(constant: float = 30.0) -> Callable[[RunResult], float]:
+    """The worst-case O(n^2) bound with an explicit constant."""
+
+    def budget(result: RunResult) -> float:
+        return constant * result.config.n**2
+
+    return budget
+
+
+def verify_run(
+    result: RunResult,
+    *,
+    expected_decision: Any = ...,
+    validity: Callable[[Any], bool] | None = None,
+    allow_bottom: bool = False,
+    word_budget: Callable[[RunResult], float] | None = None,
+    check_lemma6: bool = False,
+) -> Report:
+    """Audit ``result``; see the module docstring for the checklist.
+
+    Parameters
+    ----------
+    expected_decision:
+        If given (anything other than the default ellipsis), every
+        correct process must have decided exactly this value — the BB
+        validity / strong-unanimity check.
+    validity:
+        Unique-validity style check: the common decision must satisfy
+        the predicate, or be ``⊥`` if ``allow_bottom``.
+    word_budget:
+        Callable mapping the result to a word ceiling.
+    check_lemma6:
+        Assert no fallback ran when ``f < (n-t-1)/2``.  Only meaningful
+        when the adversary blocks progress by silence; protocol-aware
+        adversaries may legitimately trigger earlier fallbacks.
+    """
+    report = Report()
+    correct = result.correct_pids
+
+    # Termination.
+    report.checked.append("termination")
+    undecided = [
+        pid
+        for pid in correct
+        if pid not in result.decisions or result.decisions[pid] == UNDECIDED
+    ]
+    for pid in undecided:
+        report.add("termination", f"correct process {pid} did not decide")
+
+    # Agreement.
+    report.checked.append("agreement")
+    decided = [
+        (pid, result.decisions[pid])
+        for pid in correct
+        if pid in result.decisions
+    ]
+    if decided:
+        first_pid, first_value = decided[0]
+        for pid, value in decided[1:]:
+            if value != first_value:
+                report.add(
+                    "agreement",
+                    f"process {first_pid} decided {first_value!r} but "
+                    f"process {pid} decided {value!r}",
+                )
+
+    # Validity.
+    if expected_decision is not ...:
+        report.checked.append("expected-decision")
+        for pid, value in decided:
+            if value != expected_decision:
+                report.add(
+                    "validity",
+                    f"process {pid} decided {value!r}, expected "
+                    f"{expected_decision!r}",
+                )
+    if validity is not None and decided:
+        report.checked.append("unique-validity")
+        value = decided[0][1]
+        if value == BOTTOM:
+            if not allow_bottom:
+                report.add("validity", "decided ⊥ where ⊥ is not allowed")
+        elif not validity(value):
+            report.add("validity", f"decision {value!r} fails the predicate")
+
+    # Decide-at-most-once (Lemma 23 / 29): the terminal `decided` event
+    # fires exactly once per correct process per protocol scope.
+    report.checked.append("decide-once")
+    per_process_scope: dict[tuple, int] = {}
+    for event in result.trace.named("decided"):
+        if event.pid in result.corrupted:
+            continue
+        key = (event.pid, event.scope)
+        per_process_scope[key] = per_process_scope.get(key, 0) + 1
+    for (pid, scope), count in per_process_scope.items():
+        if count > 1:
+            report.add(
+                "decide-once",
+                f"process {pid} emitted {count} decisions in scope {scope}",
+            )
+
+    # Lemma 6.
+    if check_lemma6:
+        report.checked.append("lemma6")
+        threshold = result.config.fallback_failure_threshold
+        if result.f < threshold and result.fallback_was_used():
+            report.add(
+                "lemma6",
+                f"fallback ran with f={result.f} < (n-t-1)/2={threshold}",
+            )
+
+    # Word budget.
+    if word_budget is not None:
+        report.checked.append("word-budget")
+        ceiling = word_budget(result)
+        if result.correct_words > ceiling:
+            report.add(
+                "word-budget",
+                f"{result.correct_words} words exceed budget {ceiling:.0f}",
+            )
+
+    return report

@@ -1,0 +1,85 @@
+"""Problem-definition verifiers: Definitions 1, 2, 3 as executable checks.
+
+Each function audits a finished run against the corresponding problem
+statement from Section 3 of the paper, building on the generic checks
+in :mod:`repro.verify.checker`:
+
+* :func:`verify_byzantine_broadcast` — Definition 1 (validity: a
+  correct sender's value is the only decision);
+* :func:`verify_strong_ba` — Definition 2 (strong unanimity);
+* :func:`verify_weak_ba` — Definition 3 (unique validity: decisions
+  are valid or ``⊥``, and ``⊥`` only when several valid values existed
+  in the run).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.values import BOTTOM
+from repro.runtime.result import RunResult
+from repro.verify.checker import Report, verify_run
+
+
+def verify_byzantine_broadcast(
+    result: RunResult,
+    sender: int,
+    sender_value: Any = ...,
+) -> Report:
+    """Definition 1.  If the sender is correct, pass its input as
+    ``sender_value`` — every correct process must decide exactly it.
+    For a Byzantine sender, leave the default: only agreement and
+    termination are required."""
+    sender_correct = sender not in result.corrupted
+    if sender_correct and sender_value is ...:
+        raise ValueError(
+            "sender is correct: its input value is required to check validity"
+        )
+    if sender_correct:
+        return verify_run(result, expected_decision=sender_value)
+    return verify_run(result)
+
+
+def verify_strong_ba(
+    result: RunResult,
+    inputs: dict[int, Any],
+) -> Report:
+    """Definition 2.  ``inputs`` maps every correct pid to its proposal;
+    strong unanimity binds only when they all coincide."""
+    correct_inputs = {
+        pid: value
+        for pid, value in inputs.items()
+        if pid not in result.corrupted
+    }
+    values = set(correct_inputs.values())
+    if len(values) == 1:
+        (value,) = values
+        return verify_run(result, expected_decision=value)
+    return verify_run(result)
+
+
+def verify_weak_ba(
+    result: RunResult,
+    validate: Callable[[Any], bool],
+    existing_valid_values: Iterable[Any],
+) -> Report:
+    """Definition 3.  ``existing_valid_values`` is the caller's model of
+    which valid values *existed in the run* (correct proposals plus
+    anything the adversary could generate); ``⊥`` is a legal decision
+    only if there was more than one."""
+    existing = list(existing_valid_values)
+    report = verify_run(
+        result, validity=validate, allow_bottom=len(existing) > 1
+    )
+    report.checked.append("unique-validity-bottom-rule")
+    decided = [
+        result.decisions[pid]
+        for pid in result.correct_pids
+        if pid in result.decisions
+    ]
+    if decided and decided[0] == BOTTOM and len(set(map(repr, existing))) <= 1:
+        report.add(
+            "unique-validity",
+            "⊥ decided although at most one valid value existed in the run",
+        )
+    return report

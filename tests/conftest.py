@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.crypto.certificates import CryptoSuite
+
+
+@pytest.fixture
+def config7() -> SystemConfig:
+    """The workhorse deployment: n=7, t=3 (optimal resilience)."""
+    return SystemConfig.with_optimal_resilience(7)
+
+
+@pytest.fixture
+def config5() -> SystemConfig:
+    return SystemConfig.with_optimal_resilience(5)
+
+
+@pytest.fixture
+def suite7(config7: SystemConfig) -> CryptoSuite:
+    return CryptoSuite(config7, seed=42)

@@ -1,0 +1,94 @@
+"""Unit tests for asyncnet internals (network, context, result)."""
+
+import asyncio
+
+import pytest
+
+from repro.asyncnet.runner import AsyncNetwork, AsyncRunResult
+from repro.errors import AgreementViolation, SchedulerError
+from repro.metrics.words import WordLedger
+from repro.runtime.trace import Trace
+
+
+def make_result(config5, decisions, corrupted=frozenset()):
+    return AsyncRunResult(
+        config=config5,
+        decisions=decisions,
+        corrupted=frozenset(corrupted),
+        ledger=WordLedger(),
+        trace=Trace(),
+        elapsed=0.1,
+    )
+
+
+class TestAsyncRunResult:
+    def test_unanimous(self, config5):
+        result = make_result(config5, {p: "v" for p in range(5)})
+        assert result.unanimous_decision() == "v"
+
+    def test_disagreement_raises(self, config5):
+        decisions = {p: "v" for p in range(5)}
+        decisions[2] = "w"
+        with pytest.raises(AgreementViolation):
+            make_result(config5, decisions).unanimous_decision()
+
+    def test_missing_decision_raises(self, config5):
+        with pytest.raises(AgreementViolation):
+            make_result(config5, {0: "v"}).unanimous_decision()
+
+    def test_corrupted_excluded(self, config5):
+        result = make_result(
+            config5, {p: "v" for p in range(4)}, corrupted={4}
+        )
+        assert result.unanimous_decision() == "v"
+
+
+class TestAsyncNetwork:
+    def test_latency_bound_enforced(self, config5):
+        with pytest.raises(SchedulerError):
+            AsyncNetwork(config5, tick_duration=0.01, latency=0.01)
+
+    def test_post_records_and_queues(self, config5):
+        async def scenario():
+            network = AsyncNetwork(config5, tick_duration=0.01)
+            network.post(0, 1, "hello", tick=3, scope="test")
+            envelope = network.queue_for(1).get_nowait()
+            assert envelope.sender == 0
+            assert envelope.payload == "hello"
+            assert envelope.sent_at == 3
+            assert network.ledger.correct_words == 1
+            record = network.ledger.records[0]
+            assert record.scope == "test"
+
+        asyncio.run(scenario())
+
+    def test_post_to_unknown_pid_rejected(self, config5):
+        async def scenario():
+            network = AsyncNetwork(config5, tick_duration=0.01)
+            with pytest.raises(SchedulerError):
+                network.post(0, 99, "x", tick=0, scope="s")
+
+        asyncio.run(scenario())
+
+    def test_latency_delays_delivery(self, config5):
+        async def scenario():
+            network = AsyncNetwork(
+                config5, tick_duration=0.05, latency=0.02
+            )
+            network.post(0, 1, "delayed", tick=0, scope="s")
+            queue = network.queue_for(1)
+            assert queue.empty()  # not yet delivered
+            await asyncio.sleep(0.04)
+            assert not queue.empty()
+
+        asyncio.run(scenario())
+
+    def test_byzantine_sender_words_not_correct(self, config5):
+        async def scenario():
+            network = AsyncNetwork(config5, tick_duration=0.01)
+            network.corrupted = {3}
+            network.post(3, 1, "evil", tick=0, scope="byzantine")
+            assert network.ledger.correct_words == 0
+            assert network.ledger.total_words == 1
+
+        asyncio.run(scenario())

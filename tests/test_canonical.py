@@ -1,0 +1,88 @@
+"""Unit tests for the canonical byte encoding."""
+
+from dataclasses import dataclass
+from enum import Enum
+
+import pytest
+
+from repro.crypto.canonical import encode
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class Other:
+    x: int
+    y: int
+
+
+class Color(Enum):
+    RED = 1
+    BLUE = 2
+
+
+class TestAtoms:
+    def test_none(self):
+        assert encode(None) == b"N"
+
+    def test_bool_distinct_from_int(self):
+        assert encode(True) != encode(1)
+        assert encode(False) != encode(0)
+
+    def test_ints(self):
+        values = [0, 1, -1, 255, 256, -256, 2**128, -(2**128)]
+        encodings = {encode(v) for v in values}
+        assert len(encodings) == len(values)
+
+    def test_str_vs_bytes_distinct(self):
+        assert encode("ab") != encode(b"ab")
+
+    def test_bytearray_equals_bytes(self):
+        assert encode(bytearray(b"xy")) == encode(b"xy")
+
+    def test_enum_includes_class_name(self):
+        assert encode(Color.RED) != encode(Color.BLUE)
+
+
+class TestComposites:
+    def test_tuple_and_list_equivalent(self):
+        assert encode((1, 2)) == encode([1, 2])
+
+    def test_nesting_is_unambiguous(self):
+        assert encode(((1,), 2)) != encode((1, (2,)))
+        assert encode(("a", "bc")) != encode(("ab", "c"))
+
+    def test_empty_containers(self):
+        assert encode(()) != encode((None,))
+        assert encode(frozenset()) != encode(())
+
+    def test_frozenset_order_independent(self):
+        assert encode(frozenset({1, 2, 3})) == encode(frozenset({3, 1, 2}))
+
+    def test_dataclass_includes_type_name(self):
+        assert encode(Point(1, 2)) != encode(Other(1, 2))
+
+    def test_dataclass_field_sensitivity(self):
+        assert encode(Point(1, 2)) != encode(Point(2, 1))
+
+    def test_deterministic(self):
+        value = (Point(1, 2), [3, "x"], frozenset({b"y"}), Color.RED, None)
+        assert encode(value) == encode(value)
+
+
+class TestRejection:
+    def test_rejects_plain_objects(self):
+        with pytest.raises(TypeError):
+            encode(object())
+
+    def test_rejects_dict(self):
+        with pytest.raises(TypeError):
+            encode({"a": 1})
+
+    def test_rejects_nested_bad_value(self):
+        with pytest.raises(TypeError):
+            encode((1, object()))

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "protocol",
+        ["bb", "weak-ba", "strong-ba", "adaptive-strong-ba", "fallback",
+         "dolev-strong"],
+    )
+    def test_run_each_protocol(self, protocol, capsys):
+        assert main(["run", protocol, "--n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "decided" in out
+        assert "words=" in out
+
+    def test_run_with_failures(self, capsys):
+        assert main(["run", "bb", "--n", "7", "--f", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "f=2" in out
+        assert "decided 'hello'" in out
+
+    def test_run_with_adversary_choice(self, capsys):
+        assert main(
+            ["run", "weak-ba", "--n", "7", "--f", "1", "--adversary", "garbage"]
+        ) == 0
+        assert "decided" in capsys.readouterr().out
+
+    def test_strong_ba_bit(self, capsys):
+        assert main(["run", "strong-ba", "--n", "5", "--bit", "0"]) == 0
+        assert "decided 0" in capsys.readouterr().out
+
+    def test_layer_breakdown_printed(self, capsys):
+        main(["run", "bb", "--n", "5"])
+        out = capsys.readouterr().out
+        assert "bb/weak_ba" in out
+
+    def test_export_flag(self, tmp_path, capsys):
+        out_file = tmp_path / "run.json"
+        assert main(["run", "bb", "--n", "5", "--export", str(out_file)]) == 0
+        assert out_file.exists()
+        from repro.analysis.export import load_run
+
+        loaded = load_run(out_file)
+        assert loaded.n == 5
+        assert loaded.correct_words > 0
+
+
+class TestSweepAndTables:
+    def test_sweep_prints_table_and_slope(self, capsys):
+        assert main(["sweep", "bb", "--ns", "5", "9", "--max-f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol" in out
+        assert "failure-free words ~ n^" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--ns", "5", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Byzantine Broadcast" in out
+        assert "O(n(f+1))" in out
+
+    def test_flows(self, capsys):
+        assert main(["flows", "--n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "activity timeline" in out
+        assert "word-flow matrix" in out
+        assert "centrality" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "paxos"])

@@ -1,0 +1,86 @@
+"""Exact word-count tests: measured failure-free bills equal the
+closed-form polynomials — a message-level accounting audit that slope
+checks cannot provide."""
+
+import pytest
+
+from repro.analysis.closed_forms import (
+    adaptive_strong_ba_unanimous_words,
+    bb_failure_free_words,
+    dolev_strong_failure_free_words,
+    phase_king_failure_free_words,
+    strong_ba_failure_free_words,
+    weak_ba_failure_free_words,
+)
+from repro.config import SystemConfig
+from repro.core.adaptive_strong_ba import run_adaptive_strong_ba
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.strong_ba import run_strong_ba
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+from repro.fallback.dolev_strong import run_dolev_strong
+from repro.fallback.phase_king import run_phase_king
+
+NS = (3, 5, 7, 9, 13, 21)
+STR_VALIDITY = lambda suite, cfg: ExternalValidity(lambda v: isinstance(v, str))
+
+
+@pytest.mark.parametrize("n", NS)
+class TestExactCounts:
+    def test_weak_ba(self, n):
+        config = SystemConfig.with_optimal_resilience(n)
+        result = run_weak_ba(
+            config, {p: "v" for p in config.processes}, STR_VALIDITY
+        )
+        assert result.correct_words == weak_ba_failure_free_words(config)
+
+    def test_bb(self, n):
+        config = SystemConfig.with_optimal_resilience(n)
+        result = run_byzantine_broadcast(config, sender=0, value="v")
+        assert result.correct_words == bb_failure_free_words(config)
+
+    def test_strong_ba(self, n):
+        config = SystemConfig.with_optimal_resilience(n)
+        result = run_strong_ba(config, {p: 1 for p in config.processes})
+        assert result.correct_words == strong_ba_failure_free_words(config)
+
+    def test_dolev_strong(self, n):
+        config = SystemConfig.with_optimal_resilience(n)
+        result = run_dolev_strong(config, sender=0, value="v")
+        assert result.correct_words == dolev_strong_failure_free_words(config)
+
+    def test_adaptive_strong_ba(self, n):
+        config = SystemConfig.with_optimal_resilience(n)
+        result = run_adaptive_strong_ba(
+            config, {p: "v" for p in config.processes}
+        )
+        assert (
+            result.correct_words == adaptive_strong_ba_unanimous_words(config)
+        )
+
+
+@pytest.mark.parametrize("t", [1, 2, 3])
+def test_phase_king_exact(t):
+    config = SystemConfig(n=4 * t + 1, t=t)
+    result = run_phase_king(config, {p: 1 for p in config.processes})
+    assert result.correct_words == phase_king_failure_free_words(config)
+
+
+def test_formulas_are_the_claimed_orders():
+    """Sanity on the formulas themselves: linear vs quadratic vs cubic."""
+    small = SystemConfig.with_optimal_resilience(5)
+    large = SystemConfig.with_optimal_resilience(41)
+    ratio = 41 / 5
+    assert bb_failure_free_words(large) / bb_failure_free_words(small) < 2 * ratio
+    assert (
+        dolev_strong_failure_free_words(large)
+        / dolev_strong_failure_free_words(small)
+        > ratio**1.7
+    )
+    pk_small = SystemConfig(n=5, t=1)
+    pk_large = SystemConfig(n=41, t=10)
+    assert (
+        phase_king_failure_free_words(pk_large)
+        / phase_king_failure_free_words(pk_small)
+        > (41 / 5) ** 2.4
+    )

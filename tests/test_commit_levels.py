@@ -1,0 +1,151 @@
+"""Surgical tests for Algorithm 4's commit-level machinery (line 43).
+
+A process that has committed at level ``L`` must ignore commit
+certificates from levels ``< L`` — otherwise a Byzantine leader could
+rewind the lock and finalize a superseded value.  Staging the rewind
+takes a conspiracy, because honest processes stop *voting* once they
+hold any commitment (so later Byzantine leaders cannot mint fresh
+certificates):
+
+* phase 1 — Byzantine leader p1 proposes ``old``, collects the honest
+  votes, forms the level-1 certificate... and **withholds** it (honest
+  processes voted, but voting alone does not commit);
+* phase 2 — Byzantine leader p2 proposes ``new``; honest processes are
+  still uncommitted, so they vote; p2 broadcasts the level-2
+  certificate and everyone commits to ``new`` at level 2;
+* phase 3 — Byzantine leader p3 replays p1's withheld *level-1*
+  certificate for ``old``.
+
+Line 43 (``level >= commit_level``) must reject the replay; the
+decision must be ``new``.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.adversary.protocol_attacks import (
+    WBA_PHASE_ROUNDS,
+    WeakBaCommitOnlyLeader,
+    weak_ba_phase_of,
+)
+from repro.config import SystemConfig
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import (
+    WbaCommitCert,
+    WbaPropose,
+    WbaVote,
+    commit_label,
+    run_weak_ba,
+)
+from repro.crypto.certificates import CertificateCollector
+from repro.runtime.byzantine import ByzantineApi
+from repro.runtime.scheduler import Simulation
+
+VALIDITY = lambda suite, cfg: ExternalValidity(lambda v: isinstance(v, str))
+VALIDITY_OBJ = ExternalValidity(lambda v: isinstance(v, str))
+
+
+@dataclass
+class StaleCommitConspiracy:
+    """One object registered as the behavior of p1 AND p3 (Byzantine
+    coalitions coordinate): p1 builds-and-withholds the level-1 cert,
+    p3 replays it in phase 3."""
+
+    stale_value: object = "old"
+    session: str = "wba"
+    _stale_cert: object = field(default=None, init=False)
+
+    def step(self, api: ByzantineApi) -> None:
+        if api.pid == weak_ba_phase_of(api.pid, api.config.n) and api.pid == 1:
+            self._step_withholder(api)
+        elif api.pid == 3:
+            self._step_replayer(api)
+
+    def _step_withholder(self, api: ByzantineApi) -> None:
+        base = 0  # phase 1
+        quorum = api.config.commit_quorum
+        if api.now == base:
+            api.broadcast(
+                WbaPropose(session=self.session, phase=1, value=self.stale_value)
+            )
+        elif api.now == base + 2 and self._stale_cert is None:
+            collector = CertificateCollector(
+                api.suite,
+                commit_label(self.session),
+                quorum,
+                ("commit", self.stale_value, 1),
+            )
+            for envelope in api.inbox:
+                payload = envelope.payload
+                if isinstance(payload, WbaVote) and payload.phase == 1:
+                    collector.add(payload.partial)
+            for accomplice in api.corrupted:
+                collector.add(
+                    api.suite.partial_for_certificate(
+                        accomplice,
+                        commit_label(self.session),
+                        quorum,
+                        ("commit", self.stale_value, 1),
+                    )
+                )
+            if collector.complete:
+                self._stale_cert = collector.certificate()
+                api.emit("stale_cert_built")
+            # ... and deliberately broadcast nothing.
+
+    def _step_replayer(self, api: ByzantineApi) -> None:
+        phase = 3
+        replay_tick = WBA_PHASE_ROUNDS * (phase - 1) + 2
+        if api.now == replay_tick and self._stale_cert is not None:
+            api.broadcast(
+                WbaCommitCert(
+                    session=self.session,
+                    phase=phase,
+                    value=self.stale_value,
+                    proof=self._stale_cert,
+                    level=1,  # the proof pins the stale level
+                )
+            )
+            api.emit("replayed_commit", level=1)
+
+
+class TestCommitLevelMonotonicity:
+    def test_stale_commit_replay_is_rejected(self):
+        # n=13 so the ⌈(n+t+1)/2⌉ = 10 quorum stays reachable by the
+        # 10 correct processes despite the three Byzantine leaders.
+        config = SystemConfig.with_optimal_resilience(13)
+        conspiracy = StaleCommitConspiracy()
+        simulation = Simulation(config, seed=0)
+        simulation.add_byzantine(1, conspiracy)
+        simulation.add_byzantine(2, WeakBaCommitOnlyLeader(value="new"))
+        simulation.add_byzantine(3, conspiracy)
+        from repro.core.weak_ba import weak_ba_protocol
+
+        for pid in config.processes:
+            if pid in (1, 2, 3):
+                continue
+            simulation.add_process(
+                pid, lambda ctx: weak_ba_protocol(ctx, "own", VALIDITY_OBJ)
+            )
+        result = simulation.run()
+        assert result.trace.any("stale_cert_built")
+        assert result.trace.any("replayed_commit")
+        # No correct process answered the phase-3 replay with a decide
+        # share (their commit_level is already 2 > 1).
+        phase3_decides = [
+            r
+            for r in result.ledger.records
+            if r.payload_type == "WbaDecideShare"
+            and r.sender_correct
+            and WBA_PHASE_ROUNDS * 2 <= r.tick < WBA_PHASE_ROUNDS * 3
+        ]
+        assert not phase3_decides
+        # The level-2 commitment is what finalizes.
+        assert result.unanimous_decision() == "new"
+
+    def test_equal_level_relay_is_accepted(self, config7):
+        """Line 43 is '>=', not '>': relaying the *current*-level
+        commitment is how honest leaders finish someone else's phase."""
+        byzantine = {1: WeakBaCommitOnlyLeader(value="locked")}
+        inputs = {p: "own" for p in config7.processes if p != 1}
+        result = run_weak_ba(config7, inputs, VALIDITY, byzantine=byzantine)
+        assert result.unanimous_decision() == "locked"

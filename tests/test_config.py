@@ -1,0 +1,102 @@
+"""Unit tests for SystemConfig and quorum arithmetic."""
+
+import math
+
+import pytest
+
+from repro.config import RunParameters, SystemConfig
+from repro.errors import ConfigurationError
+
+
+class TestSystemConfigValidation:
+    def test_accepts_optimal_resilience(self):
+        config = SystemConfig(n=7, t=3)
+        assert config.n == 7
+        assert config.t == 3
+
+    def test_accepts_sub_optimal_t(self):
+        config = SystemConfig(n=7, t=2)
+        assert config.t == 2
+
+    def test_rejects_too_many_faults(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=7, t=4)
+
+    def test_rejects_non_positive_n(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=0, t=0)
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=3, t=-1)
+
+    def test_with_optimal_resilience_requires_odd_n(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig.with_optimal_resilience(8)
+
+    def test_with_optimal_resilience_values(self):
+        for n in (1, 3, 5, 7, 21, 81):
+            config = SystemConfig.with_optimal_resilience(n)
+            assert config.n == 2 * config.t + 1
+
+
+class TestQuorums:
+    @pytest.mark.parametrize("n", [3, 5, 7, 9, 21, 41])
+    def test_commit_quorum_formula(self, n):
+        config = SystemConfig.with_optimal_resilience(n)
+        assert config.commit_quorum == math.ceil((n + config.t + 1) / 2)
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 9, 21, 41])
+    def test_commit_quorums_intersect_in_a_correct_process(self, n):
+        """The paper's key observation: two commit quorums overlap in
+        more than t processes, hence in at least one correct one."""
+        config = SystemConfig.with_optimal_resilience(n)
+        q = config.commit_quorum
+        min_overlap = 2 * q - n
+        assert min_overlap >= config.t + 1
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 9, 21, 41])
+    def test_commit_quorum_reachable_iff_lemma6_bound(self, n):
+        """``n - f >= quorum``  iff  ``f <= n - quorum``; Lemma 6's
+        threshold (n-t-1)/2 marks where reachability starts failing."""
+        config = SystemConfig.with_optimal_resilience(n)
+        for f in range(config.t + 1):
+            reachable = config.commit_quorum_reachable(f)
+            if f < config.fallback_failure_threshold:
+                assert reachable
+        assert not config.commit_quorum_reachable(config.t) or config.t == 0
+
+    def test_small_and_full_quorums(self):
+        config = SystemConfig(n=7, t=3)
+        assert config.small_quorum == 4
+        assert config.full_quorum == 7
+
+    def test_leader_rotation_wraps(self):
+        config = SystemConfig(n=5, t=2)
+        assert config.leader_of_phase(1) == 1
+        assert config.leader_of_phase(5) == 0
+        assert config.leader_of_phase(7) == 2
+
+    def test_validate_failures(self):
+        config = SystemConfig(n=7, t=3)
+        config.validate_failures(0)
+        config.validate_failures(3)
+        with pytest.raises(ConfigurationError):
+            config.validate_failures(4)
+        with pytest.raises(ConfigurationError):
+            config.validate_failures(-1)
+
+
+class TestRunParameters:
+    def test_default_phase_count_is_n(self):
+        config = SystemConfig(n=7, t=3)
+        assert RunParameters().phases_for(config) == 7
+
+    def test_explicit_phase_count(self):
+        config = SystemConfig(n=7, t=3)
+        assert RunParameters(num_phases=4).phases_for(config) == 4
+
+    def test_rejects_non_positive_phase_count(self):
+        config = SystemConfig(n=7, t=3)
+        with pytest.raises(ConfigurationError):
+            RunParameters(num_phases=0).phases_for(config)

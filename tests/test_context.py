@@ -1,0 +1,130 @@
+"""Unit tests for ProcessContext (scopes, rng, sleeping, sending)."""
+
+from repro.runtime.scheduler import Simulation
+
+
+class TestScopes:
+    def test_nested_scope_paths(self, config5):
+        paths = []
+
+        def protocol(ctx):
+            paths.append(ctx.scope_path)
+            with ctx.scope("outer"):
+                paths.append(ctx.scope_path)
+                with ctx.scope("inner"):
+                    paths.append(ctx.scope_path)
+                paths.append(ctx.scope_path)
+            paths.append(ctx.scope_path)
+            return None
+            yield  # pragma: no cover - makes this a generator
+
+        simulation = Simulation(config5)
+        simulation.add_process(0, protocol)
+        for pid in (1, 2, 3, 4):
+            simulation.add_process(pid, lambda ctx: iter(()))
+        simulation.run()
+        assert paths == ["top", "outer", "outer/inner", "outer", "top"]
+
+    def test_scope_restored_after_exception(self, config5):
+        def protocol(ctx):
+            try:
+                with ctx.scope("broken"):
+                    raise ValueError("inside")
+            except ValueError:
+                pass
+            assert ctx.scope_path == "top"
+            return "done"
+            yield  # pragma: no cover
+
+        simulation = Simulation(config5)
+        simulation.add_process(0, protocol)
+        for pid in (1, 2, 3, 4):
+            simulation.add_process(pid, lambda ctx: iter(()))
+        result = simulation.run()
+        assert result.decisions[0] == "done"
+
+    def test_sends_attributed_to_active_scope(self, config5):
+        def protocol(ctx):
+            ctx.send(1, "outside")
+            with ctx.scope("layer"):
+                ctx.send(1, "inside")
+            yield
+            return None
+
+        simulation = Simulation(config5)
+        simulation.add_process(0, protocol)
+        for pid in (1, 2, 3, 4):
+            simulation.add_process(pid, lambda ctx: iter(()))
+        result = simulation.run()
+        scopes = {r.scope for r in result.ledger.records}
+        assert scopes == {"top", "layer"}
+
+
+class TestRngAndClock:
+    def test_rng_per_process_and_seeded(self, config5):
+        draws = {}
+
+        def protocol(ctx):
+            draws[ctx.pid] = ctx.rng.random()
+            return None
+            yield  # pragma: no cover
+
+        simulation = Simulation(config5, seed=9)
+        for pid in config5.processes:
+            simulation.add_process(pid, protocol)
+        simulation.run()
+        assert len(set(draws.values())) == config5.n  # all different
+
+        rerun = {}
+
+        def protocol2(ctx):
+            rerun[ctx.pid] = ctx.rng.random()
+            return None
+            yield  # pragma: no cover
+
+        simulation = Simulation(config5, seed=9)
+        for pid in config5.processes:
+            simulation.add_process(pid, protocol2)
+        simulation.run()
+        assert rerun == draws  # same seed, same draws
+
+    def test_now_advances_with_yields(self, config5):
+        seen = []
+
+        def protocol(ctx):
+            seen.append(ctx.now)
+            yield
+            seen.append(ctx.now)
+            yield
+            seen.append(ctx.now)
+            return None
+
+        simulation = Simulation(config5)
+        simulation.add_process(0, protocol)
+        for pid in (1, 2, 3, 4):
+            simulation.add_process(pid, lambda ctx: iter(()))
+        simulation.run()
+        assert seen == [0, 1, 2]
+
+    def test_sleep_collects_across_ticks(self, config5):
+        collected = {}
+
+        def sender(ctx):
+            ctx.send(0, "one")
+            yield
+            ctx.send(0, "two")
+            yield
+            return None
+
+        def receiver(ctx):
+            envelopes = yield from ctx.sleep(3)
+            collected["payloads"] = [e.payload for e in envelopes]
+            return None
+
+        simulation = Simulation(config5)
+        simulation.add_process(0, receiver)
+        simulation.add_process(1, sender)
+        for pid in (2, 3, 4):
+            simulation.add_process(pid, lambda ctx: iter(()))
+        simulation.run()
+        assert collected["payloads"] == ["one", "two"]

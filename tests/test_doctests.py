@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.fitting
+import repro.apps.smr
+import repro.config
+import repro.crypto.canonical
+
+MODULES = [
+    repro.config,
+    repro.crypto.canonical,
+    repro.analysis.fitting,
+    repro.apps.smr,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    outcome = doctest.testmod(module, verbose=False)
+    assert outcome.attempted > 0, (
+        f"{module.__name__} should carry doctest examples"
+    )
+    assert outcome.failed == 0

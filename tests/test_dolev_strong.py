@@ -1,0 +1,90 @@
+"""Tests for the Dolev–Strong baseline broadcast."""
+
+import pytest
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.adversary.protocol_attacks import DolevStrongEquivocatingSender
+from repro.config import SystemConfig
+from repro.core.values import BOTTOM
+from repro.fallback.dolev_strong import (
+    SignatureChain,
+    initial_chain,
+    run_dolev_strong,
+)
+
+
+class TestChains:
+    def test_initial_chain_verifies(self, config7, suite7):
+        chain = initial_chain(suite7.signer(2), "v")
+        assert chain.verify(suite7.registry, sender=2)
+        assert chain.words() == 1
+        assert chain.signatures() == 1
+
+    def test_extension_verifies_and_grows_words(self, config7, suite7):
+        chain = initial_chain(suite7.signer(2), "v")
+        chain = chain.extended(suite7.signer(3)).extended(suite7.signer(4))
+        assert chain.verify(suite7.registry, sender=2)
+        assert chain.words() == 3
+        assert chain.signers == (2, 3, 4)
+
+    def test_wrong_sender_rejected(self, suite7):
+        chain = initial_chain(suite7.signer(2), "v")
+        assert not chain.verify(suite7.registry, sender=1)
+
+    def test_duplicate_signer_rejected(self, suite7):
+        chain = initial_chain(suite7.signer(2), "v").extended(suite7.signer(2))
+        assert not chain.verify(suite7.registry, sender=2)
+
+    def test_tampered_value_rejected(self, suite7):
+        chain = initial_chain(suite7.signer(2), "v")
+        tampered = SignatureChain(value="w", chain=chain.chain)
+        assert not tampered.verify(suite7.registry, sender=2)
+
+    def test_empty_chain_rejected(self, suite7):
+        assert not SignatureChain(value="v", chain=()).verify(
+            suite7.registry, sender=0
+        )
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_correct_sender_failure_free(self, n):
+        config = SystemConfig.with_optimal_resilience(n)
+        result = run_dolev_strong(config, sender=0, value="hello")
+        assert result.unanimous_decision() == "hello"
+
+    def test_correct_sender_with_silent_failures(self, config7):
+        byzantine = {2: SilentBehavior(), 5: SilentBehavior()}
+        result = run_dolev_strong(
+            config7, sender=0, value="msg", byzantine=byzantine
+        )
+        assert result.unanimous_decision() == "msg"
+
+    def test_silent_sender_decides_bottom(self, config7):
+        result = run_dolev_strong(
+            config7, sender=0, value=None, byzantine={0: SilentBehavior()}
+        )
+        assert result.unanimous_decision() == BOTTOM
+
+    def test_equivocating_sender_agreement(self, config7):
+        """The classical attack: both chains reach everyone via relays,
+        so everyone extracts both values and decides ⊥ together."""
+        result = run_dolev_strong(
+            config7,
+            sender=0,
+            value=None,
+            byzantine={0: DolevStrongEquivocatingSender("A", "B")},
+        )
+        assert result.unanimous_decision() == BOTTOM
+
+
+class TestComplexity:
+    def test_words_exceed_messages(self, config7):
+        """Chains make words strictly dominate messages — the gap the
+        paper's Section 4 highlights."""
+        result = run_dolev_strong(config7, sender=0, value="m")
+        assert result.correct_words > result.ledger.correct_messages
+
+    def test_runs_t_plus_one_rounds(self, config7):
+        result = run_dolev_strong(config7, sender=0, value="m")
+        assert result.ticks == config7.t + 2  # t+1 rounds + final delivery

@@ -1,0 +1,116 @@
+"""Edge-configuration and determinism tests."""
+
+import pytest
+
+from repro.adversary.strategies import SilentStrategy, apply_strategy
+from repro.config import SystemConfig
+from repro.core import run_byzantine_broadcast, run_strong_ba, run_weak_ba
+from repro.core.byzantine_broadcast import byzantine_broadcast_protocol
+from repro.core.validity import ExternalValidity
+from repro.fallback.recursive_ba import run_fallback_ba
+from repro.runtime.scheduler import Simulation
+
+STR_VALIDITY = lambda suite, cfg: ExternalValidity(lambda v: isinstance(v, str))
+
+
+class TestDegenerateDeployments:
+    def test_single_process_bb(self):
+        config = SystemConfig.with_optimal_resilience(1)
+        result = run_byzantine_broadcast(config, sender=0, value="solo")
+        assert result.unanimous_decision() == "solo"
+        assert result.correct_words == 0  # nothing crosses the network
+
+    def test_single_process_weak_ba(self):
+        config = SystemConfig.with_optimal_resilience(1)
+        result = run_weak_ba(config, {0: "v"}, STR_VALIDITY)
+        assert result.unanimous_decision() == "v"
+
+    def test_single_process_strong_ba(self):
+        config = SystemConfig.with_optimal_resilience(1)
+        result = run_strong_ba(config, {0: 0})
+        assert result.unanimous_decision() == 0
+
+    def test_single_process_fallback(self):
+        config = SystemConfig.with_optimal_resilience(1)
+        result = run_fallback_ba(config, {0: "x"})
+        assert result.unanimous_decision() == "x"
+
+    def test_minimum_fault_tolerant_deployment(self):
+        """n=3, t=1: the smallest deployment that tolerates anything."""
+        config = SystemConfig.with_optimal_resilience(3)
+        assert config.commit_quorum == 3  # ceil((3+1+1)/2)
+        from repro.adversary.behaviors import SilentBehavior
+
+        result = run_byzantine_broadcast(
+            config, sender=0, value="v", byzantine={2: SilentBehavior()}
+        )
+        assert result.unanimous_decision() == "v"
+        # f=1 = t blocks the quorum of 3 -> fallback, still correct.
+        assert result.fallback_was_used()
+
+    def test_zero_tolerance_config(self):
+        """n=2, t=0 is legal (no failures tolerated, still must work)."""
+        config = SystemConfig(n=2, t=0)
+        result = run_byzantine_broadcast(config, sender=0, value="pair")
+        assert result.unanimous_decision() == "pair"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("f", [0, 2])
+    def test_identical_seeds_identical_ledgers(self, f):
+        config = SystemConfig.with_optimal_resilience(7)
+
+        def run(seed):
+            plan = SilentStrategy(avoid=frozenset({0})).plan(config, f, seed)
+            simulation = Simulation(config, seed=seed)
+            apply_strategy(
+                simulation,
+                plan,
+                lambda pid: lambda ctx: byzantine_broadcast_protocol(
+                    ctx, 0, "v"
+                ),
+            )
+            result = simulation.run()
+            return (
+                result.decisions,
+                [
+                    (r.tick, r.sender, r.receiver, r.payload_type, r.words)
+                    for r in result.ledger.records
+                ],
+                [(e.tick, e.pid, e.name) for e in result.trace.events],
+            )
+
+        assert run(42) == run(42)
+
+    def test_different_seeds_can_differ(self):
+        """Adversary placement is seed-dependent, so runs may differ."""
+        config = SystemConfig.with_optimal_resilience(7)
+
+        def corrupted(seed):
+            plan = SilentStrategy(avoid=frozenset({0})).plan(config, 3, seed)
+            return plan.corrupted
+
+        assert any(corrupted(s) != corrupted(0) for s in range(1, 10))
+
+
+class TestSessionIsolation:
+    def test_sequential_sessions_do_not_interfere(self):
+        """Two BB instances back-to-back with different sessions and
+        different senders: certificates and messages from the first must
+        not satisfy the second."""
+        config = SystemConfig.with_optimal_resilience(5)
+        simulation = Simulation(config, seed=0)
+
+        def two_rounds(ctx):
+            first = yield from byzantine_broadcast_protocol(
+                ctx, 0, "first", session="round-1"
+            )
+            second = yield from byzantine_broadcast_protocol(
+                ctx, 1, "second", session="round-2"
+            )
+            return (first, second)
+
+        for pid in config.processes:
+            simulation.add_process(pid, two_rounds)
+        result = simulation.run()
+        assert result.unanimous_decision() == ("first", "second")

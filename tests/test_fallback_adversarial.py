@@ -1,0 +1,155 @@
+"""Adversarial tests for the recursive fallback's case analysis.
+
+The recursion's correctness argument (see
+``repro/fallback/recursive_ba.py``) splits on which half of a committee
+has an honest majority and on whether any honest member graded 2.
+These tests drive the hard branches with targeted attacks:
+
+* committee members lying in their **reports** (different decisions to
+  different receivers);
+* equivocating claims inside the graded consensus of a *sub*-committee;
+* Byzantine concentration in one half (the other half must carry the
+  run);
+* all of the above while the fallback runs embedded in weak BA with
+  ``δ' = 2δ`` rounds.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.adversary.behaviors import GarbageSpammer, SilentBehavior
+from repro.config import SystemConfig
+from repro.fallback.recursive_ba import CommitteeReport, run_fallback_ba
+from repro.runtime.byzantine import ByzantineApi
+
+
+@dataclass
+class LyingReporter:
+    """Replays every CommitteeReport slot it observes with *different*
+    fabricated values per receiver — attacking the majority-of-reports
+    adoption rule."""
+
+    def step(self, api: ByzantineApi) -> None:
+        sessions = {
+            e.payload.session
+            for e in api.inbox
+            if isinstance(e.payload, CommitteeReport)
+        }
+        for session in sessions:
+            for index, pid in enumerate(api.config.processes):
+                if pid == api.pid:
+                    continue
+                api.send(
+                    pid,
+                    CommitteeReport(session=session, value=f"lie-{index % 3}"),
+                )
+
+
+@dataclass
+class SplitReporter:
+    """A committee member that reports value A to even pids and value B
+    to odd pids in *every* report round (it shadows the protocol's own
+    schedule by reacting to observed reports)."""
+
+    def step(self, api: ByzantineApi) -> None:
+        sessions = {
+            e.payload.session
+            for e in api.inbox
+            if isinstance(e.payload, CommitteeReport)
+        }
+        for session in sessions:
+            for pid in api.config.processes:
+                if pid == api.pid:
+                    continue
+                value = "split-A" if pid % 2 == 0 else "split-B"
+                api.send(pid, CommitteeReport(session=session, value=value))
+
+
+class TestReportAttacks:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lying_reporters_cannot_split(self, seed, config7):
+        byzantine = {2: LyingReporter(), 5: LyingReporter()}
+        inputs = {
+            p: "honest" for p in config7.processes if p not in byzantine
+        }
+        result = run_fallback_ba(
+            config7, inputs, byzantine=byzantine, seed=seed
+        )
+        assert result.unanimous_decision() == "honest"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_split_reporters_with_mixed_inputs(self, seed, config7):
+        """Mixed honest inputs + report-splitting Byzantine members:
+        agreement must hold and the decision must be an honest input
+        (fabricated report values can never be *certified* values, and
+        with honest-majority committees they never reach a majority of
+        reports either)."""
+        byzantine = {1: SplitReporter(), 4: SplitReporter()}
+        inputs = {
+            p: f"v{p % 2}" for p in config7.processes if p not in byzantine
+        }
+        result = run_fallback_ba(
+            config7, inputs, byzantine=byzantine, seed=seed
+        )
+        decision = result.unanimous_decision()
+        assert decision in set(inputs.values())
+
+
+class TestByzantineConcentration:
+    def test_first_half_fully_byzantine(self):
+        """n=9, t=4: corrupt processes 0-3 — the A-half of the top-level
+        split is almost entirely Byzantine, so the B-half's phase must
+        deliver agreement (the pigeonhole case of the proof)."""
+        config = SystemConfig.with_optimal_resilience(9)
+        byzantine = {p: GarbageSpammer() for p in range(4)}
+        inputs = {
+            p: "survive" for p in config.processes if p not in byzantine
+        }
+        result = run_fallback_ba(config, inputs, byzantine=byzantine)
+        assert result.unanimous_decision() == "survive"
+
+    def test_second_half_fully_byzantine(self):
+        config = SystemConfig.with_optimal_resilience(9)
+        byzantine = {p: GarbageSpammer() for p in range(5, 9)}
+        inputs = {
+            p: "survive" for p in config.processes if p not in byzantine
+        }
+        result = run_fallback_ba(config, inputs, byzantine=byzantine)
+        assert result.unanimous_decision() == "survive"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_concentration_with_mixed_inputs(self, seed):
+        config = SystemConfig.with_optimal_resilience(9)
+        byzantine = {p: SilentBehavior() for p in range(4)}
+        inputs = {
+            p: f"v{p % 3}" for p in config.processes if p not in byzantine
+        }
+        result = run_fallback_ba(
+            config, inputs, byzantine=byzantine, seed=seed
+        )
+        assert result.unanimous_decision() in set(inputs.values())
+
+
+class TestEmbeddedFallbackUnderAttack:
+    def test_weak_ba_fallback_with_lying_reporters(self, config7):
+        """End to end: quorum blocked (f = t via two silents + one
+        liar), the fallback runs with 2δ rounds inside weak BA, and the
+        liar attacks its committee reports."""
+        from repro.core.validity import ExternalValidity
+        from repro.core.weak_ba import run_weak_ba
+
+        validity = lambda suite, cfg: ExternalValidity(
+            lambda v: isinstance(v, str)
+        )
+        byzantine = {
+            1: SilentBehavior(),
+            3: SilentBehavior(),
+            5: LyingReporter(),
+        }
+        inputs = {p: "v" for p in config7.processes if p not in byzantine}
+        result = run_weak_ba(
+            config7, inputs, validity, byzantine=byzantine
+        )
+        assert result.unanimous_decision() == "v"
+        assert result.fallback_was_used()

@@ -1,0 +1,79 @@
+"""Unit tests for prime-field arithmetic and Lagrange interpolation."""
+
+import pytest
+
+from repro.crypto import field
+from repro.errors import ThresholdError
+
+
+class TestBasicOps:
+    def test_prime_is_prime_small_witnesses(self):
+        # Fermat tests with a few bases — PRIME is the secp256k1 field prime.
+        for base in (2, 3, 5, 7, 11):
+            assert pow(base, field.PRIME - 1, field.PRIME) == 1
+
+    def test_add_sub_roundtrip(self):
+        a, b = 12345, field.PRIME - 7
+        assert field.sub(field.add(a, b), b) == a % field.PRIME
+
+    def test_mul_inv_roundtrip(self):
+        for a in (1, 2, 17, field.PRIME - 1, 123456789):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_inv_of_zero_rejected(self):
+        with pytest.raises(ThresholdError):
+            field.inv(0)
+        with pytest.raises(ThresholdError):
+            field.inv(field.PRIME)
+
+    def test_normalize(self):
+        assert field.normalize(field.PRIME + 5) == 5
+        assert field.normalize(-1) == field.PRIME - 1
+
+
+class TestPolynomial:
+    def test_constant(self):
+        poly = field.Polynomial((42,))
+        assert poly.evaluate(0) == 42
+        assert poly.evaluate(99999) == 42
+
+    def test_linear(self):
+        poly = field.Polynomial((3, 2))  # 3 + 2x
+        assert poly.evaluate(0) == 3
+        assert poly.evaluate(10) == 23
+
+    def test_degree(self):
+        assert field.Polynomial((1, 2, 3)).degree == 2
+
+    def test_coefficients_reduced(self):
+        poly = field.Polynomial((field.PRIME + 1,))
+        assert poly.coefficients == (1,)
+
+
+class TestLagrange:
+    def test_recovers_secret_from_any_k_shares(self):
+        poly = field.Polynomial((777, 13, 99))  # degree 2, secret 777
+        shares = [(x, poly.evaluate(x)) for x in range(1, 8)]
+        for subset in [shares[:3], shares[2:5], [shares[0], shares[3], shares[6]]]:
+            assert field.interpolate_at_zero(subset) == 777
+
+    def test_coefficients_sum_correctly(self):
+        xs = [1, 2, 3, 4]
+        coefficients = field.lagrange_coefficients_at_zero(xs)
+        # For the constant polynomial f == 1: sum of coefficients is 1.
+        assert sum(coefficients) % field.PRIME == 1
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ThresholdError):
+            field.lagrange_coefficients_at_zero([1, 1, 2])
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(ThresholdError):
+            field.lagrange_coefficients_at_zero([0, 1, 2])
+
+    def test_too_few_shares_give_wrong_secret(self):
+        """Information-theoretic security: k-1 shares interpolate to a
+        value unrelated to the secret."""
+        poly = field.Polynomial((555, 7, 21))  # degree 2, needs 3 points
+        shares = [(x, poly.evaluate(x)) for x in (1, 2)]
+        assert field.interpolate_at_zero(shares) != 555

@@ -1,0 +1,127 @@
+"""Tests for post-run Byzantine forensics."""
+
+from repro.adversary.behaviors import EquivocatingSender, SilentBehavior
+from repro.adversary.protocol_attacks import (
+    DolevStrongEquivocatingSender,
+    WeakBaEquivocatingLeader,
+)
+from repro.core.byzantine_broadcast import (
+    BbSenderValue,
+    byzantine_broadcast_protocol,
+)
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import weak_ba_protocol
+from repro.fallback.dolev_strong import dolev_strong_protocol
+from repro.runtime.scheduler import Simulation
+from repro.verify.forensics import audit_envelopes
+
+VALIDITY = ExternalValidity(lambda v: isinstance(v, str))
+
+
+def run_recorded(config, byzantine, factory, seed=0):
+    simulation = Simulation(config, seed=seed, record_envelopes=True)
+    for pid, behavior in byzantine.items():
+        simulation.add_byzantine(pid, behavior)
+    for pid in config.processes:
+        if pid not in byzantine:
+            simulation.add_process(pid, factory)
+    return simulation.run()
+
+
+class TestEquivocationDetection:
+    def test_clean_run_has_no_findings(self, config7):
+        result = run_recorded(
+            config7,
+            {},
+            lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"),
+        )
+        report = audit_envelopes(result)
+        assert report.findings == []
+        assert report.envelopes_audited > 0
+        assert "no Byzantine evidence" in report.summary()
+
+    def test_silent_byzantine_is_not_convicted(self, config7):
+        """Soundness: silence produces no evidence (indistinguishable
+        from a crash)."""
+        result = run_recorded(
+            config7,
+            {3: SilentBehavior()},
+            lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"),
+        )
+        report = audit_envelopes(result)
+        assert 3 not in report.culprits
+
+    def test_equivocating_bb_sender_convicted(self, config7):
+        byzantine = {
+            0: EquivocatingSender(
+                "A",
+                "B",
+                make_payload=lambda s, api: BbSenderValue("bb", s),
+            )
+        }
+        result = run_recorded(
+            config7,
+            byzantine,
+            lambda ctx: byzantine_broadcast_protocol(ctx, 0, None),
+        )
+        report = audit_envelopes(result)
+        assert report.culprits == {0}
+        (finding,) = [f for f in report.findings if f.kind == "equivocation"][:1]
+        assert finding.slot[0] == "BbSenderValue"
+
+    def test_equivocating_weak_ba_leader_convicted(self, config7):
+        byzantine = {
+            1: WeakBaEquivocatingLeader(
+                value_a="A", value_b="B", quorum=config7.commit_quorum
+            )
+        }
+        result = run_recorded(
+            config7,
+            byzantine,
+            lambda ctx: weak_ba_protocol(ctx, "honest", VALIDITY),
+        )
+        report = audit_envelopes(result)
+        assert 1 in report.culprits
+        kinds = {f.slot[0] for f in report.against(1)}
+        assert "WbaPropose" in kinds
+
+    def test_dolev_strong_equivocator_convicted(self, config7):
+        byzantine = {0: DolevStrongEquivocatingSender("A", "B")}
+        result = run_recorded(
+            config7,
+            byzantine,
+            lambda ctx: dolev_strong_protocol(ctx, 0, None),
+        )
+        report = audit_envelopes(result)
+        assert 0 in report.culprits
+
+    def test_no_false_positives_on_honest_processes(self, config7):
+        """Across several adversarial runs, only Byzantine processes
+        are ever named."""
+        scenarios = [
+            {
+                0: EquivocatingSender(
+                    "A", "B",
+                    make_payload=lambda s, api: BbSenderValue("bb", s),
+                )
+            },
+            {0: DolevStrongEquivocatingSender("X", "Y")},
+        ]
+        factories = [
+            lambda ctx: byzantine_broadcast_protocol(ctx, 0, None),
+            lambda ctx: dolev_strong_protocol(ctx, 0, None),
+        ]
+        for byzantine, factory in zip(scenarios, factories):
+            result = run_recorded(config7, dict(byzantine), factory)
+            report = audit_envelopes(result)
+            assert report.culprits <= result.corrupted
+
+    def test_requires_recorded_envelopes(self, config7):
+        simulation = Simulation(config7, seed=0)  # recording off
+        for pid in config7.processes:
+            simulation.add_process(
+                pid, lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v")
+            )
+        result = simulation.run()
+        report = audit_envelopes(result)
+        assert report.envelopes_audited == 0

@@ -1,0 +1,93 @@
+"""Section 8 extension: resilience beyond n = 2t + 1.
+
+"Note that this remains true for any resilience of n = αt + β, for
+α > 1, β > 0 without compromising the intersection property required
+for safety."  The implementation accepts any n >= 2t + 1; these tests
+exercise the protocols at sub-optimal t (more processes than strictly
+necessary) and verify both correctness and the *wider* adaptive regime
+the larger gap buys.
+"""
+
+import pytest
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.config import SystemConfig
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.strong_ba import run_strong_ba
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+
+VALIDITY = lambda suite, cfg: ExternalValidity(lambda v: isinstance(v, str))
+
+
+class TestQuorumGeneralization:
+    @pytest.mark.parametrize("n,t", [(7, 3), (10, 3), (13, 3), (9, 2), (16, 5)])
+    def test_intersection_property_holds(self, n, t):
+        """Two commit quorums intersect in > t processes for any
+        n >= 2t + 1 (the Section 8 remark)."""
+        config = SystemConfig(n=n, t=t)
+        assert 2 * config.commit_quorum - n >= t + 1
+
+    @pytest.mark.parametrize("n,t", [(10, 3), (13, 3), (16, 3)])
+    def test_adaptive_regime_widens_with_n(self, n, t):
+        base = SystemConfig(n=2 * t + 1, t=t)
+        wide = SystemConfig(n=n, t=t)
+        assert (
+            wide.fallback_failure_threshold > base.fallback_failure_threshold
+        )
+
+
+class TestProtocolsAtHigherResilience:
+    @pytest.mark.parametrize("n,t", [(10, 3), (13, 4), (16, 5)])
+    def test_bb_failure_free(self, n, t):
+        config = SystemConfig(n=n, t=t)
+        result = run_byzantine_broadcast(config, sender=0, value="v")
+        assert result.unanimous_decision() == "v"
+        assert not result.fallback_was_used()
+
+    @pytest.mark.parametrize("n,t", [(10, 3), (13, 4)])
+    def test_bb_with_max_failures(self, n, t):
+        config = SystemConfig(n=n, t=t)
+        byzantine = {p: SilentBehavior() for p in range(1, t + 1)}
+        result = run_byzantine_broadcast(
+            config, sender=0, value="v", byzantine=byzantine
+        )
+        assert result.unanimous_decision() == "v"
+
+    def test_weak_ba_stays_adaptive_at_f_where_optimal_falls_back(self):
+        """n=13, t=3: threshold (13-3-1)/2 = 4.5, so even f = 3 = t is
+        adaptive — whereas at n=7, t=3 the same f forces the fallback."""
+        wide = SystemConfig(n=13, t=3)
+        byzantine = {p: SilentBehavior() for p in (1, 3, 5)}
+        inputs = {p: "v" for p in wide.processes if p not in byzantine}
+        result = run_weak_ba(wide, inputs, VALIDITY, byzantine=byzantine)
+        assert result.unanimous_decision() == "v"
+        assert not result.fallback_was_used()
+
+        tight = SystemConfig(n=7, t=3)
+        inputs = {p: "v" for p in tight.processes if p not in byzantine}
+        result = run_weak_ba(tight, inputs, VALIDITY, byzantine=byzantine)
+        assert result.unanimous_decision() == "v"
+        assert result.fallback_was_used()
+
+    @pytest.mark.parametrize("n,t", [(10, 3), (13, 4)])
+    def test_strong_ba_failure_free_and_degraded(self, n, t):
+        config = SystemConfig(n=n, t=t)
+        quiet = run_strong_ba(config, {p: 1 for p in config.processes})
+        assert quiet.unanimous_decision() == 1
+        assert not quiet.fallback_was_used()
+
+        byzantine = {0: SilentBehavior()}
+        degraded = run_strong_ba(
+            config,
+            {p: 1 for p in config.processes if p != 0},
+            byzantine=byzantine,
+        )
+        assert degraded.unanimous_decision() == 1
+
+    def test_even_n_is_supported(self):
+        """Optimal-resilience helper requires odd n, but the general
+        constructor takes any n >= 2t + 1 — including even."""
+        config = SystemConfig(n=8, t=3)
+        result = run_byzantine_broadcast(config, sender=0, value="v")
+        assert result.unanimous_decision() == "v"

@@ -1,0 +1,79 @@
+"""Tests for decision-latency analysis."""
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.adversary.protocol_attacks import WeakBaSplitFinalizeLeader
+from repro.analysis.latency import decision_latencies, latency_summary
+from repro.core.strong_ba import run_strong_ba
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+
+VALIDITY = lambda suite, cfg: ExternalValidity(lambda v: isinstance(v, str))
+
+
+class TestMechanismAttribution:
+    def test_failure_free_weak_ba_is_all_in_phase(self, config7):
+        result = run_weak_ba(
+            config7, {p: "v" for p in config7.processes}, VALIDITY
+        )
+        summary = latency_summary(result)
+        assert summary["mechanisms"] == {"in-phase": 7}
+        assert summary["spread"] == 0  # everyone decides the same round
+
+    def test_split_finalize_with_two_byzantine_shows_later_phase_repair(
+        self, config7
+    ):
+        """With later correct leaders available, a split finalize is
+        repaired by a later *phase*, not the help round: everyone still
+        decides in-phase but spread out in time."""
+        byzantine = {
+            1: WeakBaSplitFinalizeLeader(value="v", recipients=frozenset({2, 4}))
+        }
+        inputs = {p: "v" for p in config7.processes if p != 1}
+        result = run_weak_ba(config7, inputs, VALIDITY, byzantine=byzantine)
+        summary = latency_summary(result)
+        assert summary["mechanisms"] == {"in-phase": 6}
+        assert summary["spread"] > 0  # two decision waves
+
+    def test_split_finalize_shows_help_repair(self, config7):
+        """When the quorum is blocked for everyone else (f = t), the
+        non-recipient can only decide via a help answer — the two
+        mechanisms are visible side by side."""
+        byzantine = {
+            1: WeakBaSplitFinalizeLeader(
+                value="v", recipients=frozenset({0, 2, 3})
+            ),
+            5: SilentBehavior(),
+            6: SilentBehavior(),
+        }
+        inputs = {p: "v" for p in config7.processes if p not in byzantine}
+        result = run_weak_ba(config7, inputs, VALIDITY, byzantine=byzantine)
+        summary = latency_summary(result)
+        assert summary["mechanisms"].get("in-phase") == 3
+        assert summary["mechanisms"].get("help") == 1
+        assert summary["spread"] > 0
+
+    def test_quorum_blocked_runs_decide_by_fallback(self, config7):
+        byzantine = {p: SilentBehavior() for p in (1, 3, 5)}
+        inputs = {p: "v" for p in config7.processes if p not in byzantine}
+        result = run_weak_ba(config7, inputs, VALIDITY, byzantine=byzantine)
+        summary = latency_summary(result)
+        assert summary["mechanisms"] == {"fallback": 4}
+
+    def test_strong_ba_fast_path_mechanism(self, config7):
+        result = run_strong_ba(config7, {p: 1 for p in config7.processes})
+        summary = latency_summary(result)
+        assert summary["mechanisms"] == {"fast-path": 7}
+        assert summary["last_decision"] <= 6
+
+
+class TestPerProcessView:
+    def test_latencies_cover_all_correct_processes(self, config7):
+        byzantine = {2: SilentBehavior()}
+        inputs = {p: "v" for p in config7.processes if p != 2}
+        result = run_weak_ba(config7, inputs, VALIDITY, byzantine=byzantine)
+        latencies = decision_latencies(result)
+        assert [l.pid for l in latencies] == result.correct_pids
+        for latency in latencies:
+            assert latency.decided_at is not None
+            assert latency.halted_at is not None
+            assert latency.decided_at <= latency.halted_at

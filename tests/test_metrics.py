@@ -1,0 +1,110 @@
+"""Unit tests for the word-complexity model and ledger."""
+
+from dataclasses import dataclass
+
+from repro.metrics.words import (
+    WordLedger,
+    payload_signatures,
+    payload_words,
+)
+
+
+@dataclass(frozen=True)
+class TwoWordPayload:
+    body: str
+
+    def words(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class CertLikePayload:
+    def words(self) -> int:
+        return 1
+
+    def signatures(self) -> int:
+        return 6
+
+
+class TestWordModel:
+    def test_default_is_one_word(self):
+        assert payload_words("any string") == 1
+        assert payload_words(42) == 1
+
+    def test_payload_words_method_respected(self):
+        assert payload_words(TwoWordPayload("x")) == 2
+
+    def test_minimum_one_word(self):
+        @dataclass(frozen=True)
+        class Zero:
+            def words(self) -> int:
+                return 0
+
+        assert payload_words(Zero()) == 1
+
+    def test_signatures_defaults_to_words(self):
+        assert payload_signatures(TwoWordPayload("x")) == 2
+
+    def test_signatures_method_respected(self):
+        """A threshold certificate: 1 word, quorum-many signatures."""
+        assert payload_words(CertLikePayload()) == 1
+        assert payload_signatures(CertLikePayload()) == 6
+
+
+class TestLedger:
+    def _ledger(self):
+        ledger = WordLedger()
+        ledger.record(
+            tick=0, sender=0, receiver=1, payload="a", scope="bb",
+            sender_correct=True,
+        )
+        ledger.record(
+            tick=0, sender=0, receiver=2, payload=TwoWordPayload("b"),
+            scope="bb/weak_ba", sender_correct=True,
+        )
+        ledger.record(
+            tick=1, sender=3, receiver=1, payload="evil", scope="byzantine",
+            sender_correct=False,
+        )
+        return ledger
+
+    def test_correct_words_excludes_adversary(self):
+        ledger = self._ledger()
+        assert ledger.correct_words == 3
+        assert ledger.total_words == 4
+
+    def test_message_count(self):
+        assert self._ledger().correct_messages == 2
+
+    def test_self_sends_ignored(self):
+        ledger = WordLedger()
+        ledger.record(
+            tick=0, sender=1, receiver=1, payload="self", scope="s",
+            sender_correct=True,
+        )
+        assert ledger.correct_words == 0
+        assert ledger.records == []
+
+    def test_scope_attribution(self):
+        by_scope = self._ledger().words_by_scope()
+        assert by_scope == {"bb": 1, "bb/weak_ba": 2}
+
+    def test_scope_attribution_with_adversary(self):
+        by_scope = self._ledger().words_by_scope(correct_only=False)
+        assert by_scope["byzantine"] == 1
+
+    def test_payload_type_breakdown(self):
+        by_type = self._ledger().words_by_payload_type()
+        assert by_type == {"str": 1, "TwoWordPayload": 2}
+
+    def test_per_sender_breakdown(self):
+        assert self._ledger().words_by_sender() == {0: 3}
+
+    def test_signature_count_uses_contained_signatures(self):
+        ledger = WordLedger()
+        ledger.record(
+            tick=0, sender=0, receiver=1, payload=CertLikePayload(), scope="s",
+            sender_correct=True,
+        )
+        assert ledger.correct_words == 1
+        assert ledger.signature_count() == 6

@@ -1,0 +1,80 @@
+"""Tests for the unauthenticated Phase-King baseline."""
+
+import pytest
+
+from repro.adversary.behaviors import GarbageSpammer, SilentBehavior
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.fallback.phase_king import run_phase_king
+
+
+def pk_config(t: int) -> SystemConfig:
+    return SystemConfig(n=4 * t + 1, t=t)
+
+
+class TestResilienceGate:
+    def test_rejects_insufficient_n(self):
+        with pytest.raises(ConfigurationError):
+            run_phase_king(SystemConfig(n=7, t=3), {p: 1 for p in range(7)})
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            run_phase_king(pk_config(1), {p: 2 for p in range(5)})
+
+
+class TestStrongUnanimity:
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_failure_free(self, t, value):
+        config = pk_config(t)
+        result = run_phase_king(config, {p: value for p in config.processes})
+        assert result.unanimous_decision() == value
+
+    @pytest.mark.parametrize("t", [1, 2])
+    def test_unanimous_with_max_silent_failures(self, t):
+        config = pk_config(t)
+        byzantine = {p: SilentBehavior() for p in range(1, t + 1)}
+        inputs = {p: 1 for p in config.processes if p not in byzantine}
+        result = run_phase_king(config, inputs, byzantine=byzantine)
+        assert result.unanimous_decision() == 1
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mixed_inputs_agree(self, seed):
+        config = pk_config(2)
+        inputs = {p: p % 2 for p in config.processes}
+        result = run_phase_king(config, inputs, seed=seed)
+        assert result.unanimous_decision() in (0, 1)
+
+    def test_mixed_inputs_with_garbage(self):
+        config = pk_config(2)
+        byzantine = {3: GarbageSpammer(), 7: SilentBehavior()}
+        inputs = {
+            p: p % 2 for p in config.processes if p not in byzantine
+        }
+        result = run_phase_king(config, inputs, byzantine=byzantine)
+        assert result.unanimous_decision() in (0, 1)
+
+
+class TestComplexity:
+    def test_no_signatures_anywhere(self):
+        config = pk_config(2)
+        result = run_phase_king(config, {p: 1 for p in config.processes})
+        assert result.ledger.signature_count() == 0
+
+    def test_words_cubic_at_proportional_t(self):
+        """With t = Θ(n), total words grow ~n^3 — the classical cost
+        the paper's protocols escape."""
+        words = {}
+        for t in (1, 2, 4):
+            config = pk_config(t)
+            result = run_phase_king(config, {p: 1 for p in config.processes})
+            words[config.n] = result.correct_words
+        # n grows 5 -> 17 (3.4x); cubic words grow ~39x; quadratic ~12x.
+        assert words[17] / words[5] > 20
+
+    def test_round_count_is_two_per_phase(self):
+        config = pk_config(2)
+        result = run_phase_king(config, {p: 1 for p in config.processes})
+        assert result.ticks == 2 * (config.t + 1) + 1

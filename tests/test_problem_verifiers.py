@@ -1,0 +1,125 @@
+"""Tests for the Definition 1/2/3 problem verifiers and Monte-Carlo runner."""
+
+import pytest
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.analysis.montecarlo import (
+    expected_cost_curve,
+    run_probabilistic_trials,
+)
+from repro.core.byzantine_broadcast import (
+    byzantine_broadcast_protocol,
+    run_byzantine_broadcast,
+)
+from repro.core.strong_ba import run_strong_ba
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+from repro.verify import (
+    verify_byzantine_broadcast,
+    verify_strong_ba,
+    verify_weak_ba,
+)
+
+
+class TestDefinition1:
+    def test_correct_sender_run_passes(self, config7):
+        result = run_byzantine_broadcast(config7, sender=0, value="v")
+        report = verify_byzantine_broadcast(result, sender=0, sender_value="v")
+        assert report.ok, report.summary()
+
+    def test_correct_sender_requires_value(self, config7):
+        result = run_byzantine_broadcast(config7, sender=0, value="v")
+        with pytest.raises(ValueError):
+            verify_byzantine_broadcast(result, sender=0)
+
+    def test_byzantine_sender_needs_agreement_only(self, config7):
+        result = run_byzantine_broadcast(
+            config7, sender=0, value=None, byzantine={0: SilentBehavior()}
+        )
+        assert verify_byzantine_broadcast(result, sender=0).ok
+
+    def test_wrong_sender_value_caught(self, config7):
+        result = run_byzantine_broadcast(config7, sender=0, value="v")
+        report = verify_byzantine_broadcast(result, sender=0, sender_value="w")
+        assert not report.ok
+
+
+class TestDefinition2:
+    def test_unanimous_inputs_checked(self, config7):
+        inputs = {p: 1 for p in config7.processes}
+        result = run_strong_ba(config7, inputs)
+        assert verify_strong_ba(result, inputs).ok
+
+    def test_mixed_inputs_only_agreement(self, config7):
+        inputs = {p: p % 2 for p in config7.processes}
+        result = run_strong_ba(config7, inputs)
+        assert verify_strong_ba(result, inputs).ok
+
+    def test_byzantine_inputs_excluded_from_unanimity(self, config7):
+        """Corrupted processes' 'inputs' must not break the unanimity
+        requirement computation."""
+        byzantine = {3: SilentBehavior()}
+        inputs = {p: 1 for p in config7.processes if p != 3}
+        result = run_strong_ba(config7, inputs, byzantine=byzantine)
+        report = verify_strong_ba(result, {**inputs, 3: 0})
+        assert report.ok, report.summary()
+
+
+class TestDefinition3:
+    VALIDATE = staticmethod(lambda v: isinstance(v, str))
+
+    def test_single_valid_value_must_win(self, config7):
+        result = run_weak_ba(
+            config7,
+            {p: "only" for p in config7.processes},
+            lambda suite, cfg: ExternalValidity(self.VALIDATE),
+        )
+        report = verify_weak_ba(result, self.VALIDATE, ["only"])
+        assert report.ok, report.summary()
+
+    def test_bottom_allowed_with_multiple_valid_values(self, config7):
+        inputs = {p: f"v{p % 2}" for p in config7.processes}
+        result = run_weak_ba(
+            config7, inputs, lambda suite, cfg: ExternalValidity(self.VALIDATE)
+        )
+        report = verify_weak_ba(result, self.VALIDATE, set(inputs.values()))
+        assert report.ok, report.summary()
+
+
+class TestMonteCarlo:
+    def test_zero_probability_is_deterministic(self, config5):
+        dist = run_probabilistic_trials(
+            config5,
+            lambda pid: lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"),
+            failure_probability=0.0,
+            trials=3,
+            protected=frozenset({0}),
+        )
+        assert dist.mean == dist.median == dist.p95 == dist.maximum
+        assert dist.fallback_rate == 0.0
+        assert dist.disagreements == 0
+
+    def test_high_probability_raises_cost(self, config5):
+        curve = expected_cost_curve(
+            config5,
+            lambda pid: lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"),
+            probabilities=(0.0, 0.5),
+            trials=8,
+            protected=frozenset({0}),
+        )
+        assert curve[0].mean < curve[1].mean
+        assert all(d.disagreements == 0 for d in curve)
+
+    def test_failures_capped_at_t(self, config5):
+        dist = run_probabilistic_trials(
+            config5,
+            lambda pid: lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"),
+            failure_probability=1.0,  # everyone wants to crash...
+            trials=3,
+            protected=frozenset({0}),
+        )
+        assert dist.disagreements == 0  # ...but only t are allowed to
+
+
+def self_validate(v):
+    return isinstance(v, str)

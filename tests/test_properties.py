@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Two families:
+
+* algebraic properties of the crypto substrate (any polynomial, any
+  share subset, any message);
+* protocol properties (agreement / termination / validity / complexity
+  accounting) under randomized adversary placement and behavior mixes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.behaviors import GarbageSpammer, SilentBehavior
+from repro.adversary.protocol_attacks import WeakBaTeasingLeader
+from repro.config import SystemConfig
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.strong_ba import run_strong_ba
+from repro.core.validity import ExternalValidity
+from repro.core.values import BOTTOM
+from repro.core.weak_ba import run_weak_ba
+from repro.crypto import field
+from repro.crypto.canonical import encode
+from repro.crypto.threshold import ThresholdScheme
+from repro.fallback.recursive_ba import run_fallback_ba
+
+# ----------------------------------------------------------------------
+# Crypto algebra
+# ----------------------------------------------------------------------
+
+field_elements = st.integers(min_value=0, max_value=field.PRIME - 1)
+
+
+class TestFieldProperties:
+    @given(field_elements, field_elements)
+    def test_add_commutes(self, a, b):
+        assert field.add(a, b) == field.add(b, a)
+
+    @given(field_elements, field_elements, field_elements)
+    def test_mul_distributes(self, a, b, c):
+        assert field.mul(a, field.add(b, c)) == field.add(
+            field.mul(a, b), field.mul(a, c)
+        )
+
+    @given(st.integers(min_value=1, max_value=field.PRIME - 1))
+    def test_inverse(self, a):
+        assert field.mul(a, field.inv(a)) == 1
+
+    @given(
+        st.lists(field_elements, min_size=1, max_size=5),
+        st.sets(st.integers(min_value=1, max_value=40), min_size=5, max_size=8),
+    )
+    def test_interpolation_recovers_constant_term(self, coefficients, xs):
+        poly = field.Polynomial(tuple(coefficients))
+        points = [(x, poly.evaluate(x)) for x in sorted(xs)[: len(coefficients)]]
+        if len(points) >= len(coefficients):
+            assert field.interpolate_at_zero(points) == poly.evaluate(0)
+
+
+class TestEncodingProperties:
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    )
+    values = st.recursive(
+        scalars, lambda children: st.lists(children, max_size=4), max_leaves=10
+    )
+
+    @given(values)
+    def test_deterministic(self, value):
+        assert encode(value) == encode(value)
+
+    @given(values, values)
+    def test_injective_on_samples(self, a, b):
+        canonical_a = tuple(a) if isinstance(a, list) else a
+        canonical_b = tuple(b) if isinstance(b, list) else b
+        if encode(a) == encode(b):
+            assert _normalize(canonical_a) == _normalize(canonical_b)
+
+
+def _normalize(value):
+    """Lists and tuples encode identically by design."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    return value
+
+
+class TestThresholdProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=4),
+        st.binary(min_size=1, max_size=8),
+    )
+    def test_any_quorum_combines_and_verifies(self, k, extra, seed):
+        n = k + extra + 1
+        scheme = ThresholdScheme("p", k=k, n=n, seed=seed)
+        partials = [scheme.partial_sign(pid, ("m", 1)) for pid in range(n)]
+        signature = scheme.combine(partials[extra : extra + k])
+        assert scheme.verify(signature, ("m", 1))
+        assert not scheme.verify(signature, ("m", 2))
+
+
+# ----------------------------------------------------------------------
+# Protocol properties under randomized adversaries
+# ----------------------------------------------------------------------
+
+protocol_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _behavior(kind, value="tease"):
+    if kind == "silent":
+        return lambda pid: SilentBehavior()
+    if kind == "garbage":
+        return lambda pid: GarbageSpammer()
+    return lambda pid: WeakBaTeasingLeader(value=value)
+
+
+class TestByzantineBroadcastProperties:
+    @protocol_settings
+    @given(
+        n=st.sampled_from([3, 5, 7]),
+        f_fraction=st.floats(min_value=0, max_value=1),
+        seed=st.integers(min_value=0, max_value=10_000),
+        kind=st.sampled_from(["silent", "garbage"]),
+    )
+    def test_validity_with_correct_sender(self, n, f_fraction, seed, kind):
+        """Whatever the adversary does with up to t non-sender
+        corruptions, all correct processes decide the sender's value."""
+        config = SystemConfig.with_optimal_resilience(n)
+        f = round(f_fraction * config.t)
+        import random
+
+        rng = random.Random(seed)
+        targets = rng.sample([p for p in config.processes if p != 0], f)
+        byzantine = {pid: _behavior(kind)(pid) for pid in targets}
+        result = run_byzantine_broadcast(
+            config, sender=0, value="V", byzantine=byzantine, seed=seed
+        )
+        assert result.unanimous_decision() == "V"
+
+    @protocol_settings
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_ledger_scope_conservation(self, seed):
+        config = SystemConfig.with_optimal_resilience(5)
+        result = run_byzantine_broadcast(config, sender=0, value="V", seed=seed)
+        assert (
+            sum(result.ledger.words_by_scope().values()) == result.correct_words
+        )
+        assert (
+            sum(result.ledger.words_by_sender().values()) == result.correct_words
+        )
+
+
+class TestWeakBaProperties:
+    @protocol_settings
+    @given(
+        n=st.sampled_from([5, 7]),
+        f=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        split=st.booleans(),
+    )
+    def test_agreement_and_unique_validity(self, n, f, seed, split):
+        config = SystemConfig.with_optimal_resilience(n)
+        f = min(f, config.t)
+        import random
+
+        rng = random.Random(seed)
+        targets = rng.sample(list(config.processes), f)
+        byzantine = {pid: SilentBehavior() for pid in targets}
+        validity = lambda suite, cfg: ExternalValidity(
+            lambda v: isinstance(v, str)
+        )
+        inputs = {
+            p: ("common" if not split else f"v{p % 2}")
+            for p in config.processes
+            if p not in byzantine
+        }
+        result = run_weak_ba(
+            config, inputs, validity, byzantine=byzantine, seed=seed
+        )
+        decision = result.unanimous_decision()
+        if decision == BOTTOM:
+            # Unique validity: ⊥ only when several valid values existed.
+            assert len(set(inputs.values())) > 1
+        else:
+            assert isinstance(decision, str)
+        if not split:
+            # Single valid value in the run: it must win.
+            assert decision == "common"
+
+
+class TestStrongBaProperties:
+    @protocol_settings
+    @given(
+        f=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        value=st.sampled_from([0, 1]),
+    )
+    def test_strong_unanimity(self, f, seed, value):
+        config = SystemConfig.with_optimal_resilience(7)
+        import random
+
+        rng = random.Random(seed)
+        targets = rng.sample(list(config.processes), f)
+        byzantine = {pid: SilentBehavior() for pid in targets}
+        inputs = {
+            p: value for p in config.processes if p not in byzantine
+        }
+        result = run_strong_ba(config, inputs, byzantine=byzantine, seed=seed)
+        assert result.unanimous_decision() == value
+
+
+class TestFallbackProperties:
+    @protocol_settings
+    @given(
+        n=st.sampled_from([3, 5, 7, 9]),
+        seed=st.integers(min_value=0, max_value=10_000),
+        mixed=st.booleans(),
+    )
+    def test_agreement_any_inputs(self, n, seed, mixed):
+        config = SystemConfig.with_optimal_resilience(n)
+        inputs = {
+            p: (f"v{p % 3}" if mixed else "v") for p in config.processes
+        }
+        result = run_fallback_ba(config, inputs, seed=seed)
+        decision = result.unanimous_decision()
+        assert decision in set(inputs.values())
+        if not mixed:
+            assert decision == "v"
+
+
+class TestSilentPhaseBound:
+    @protocol_settings
+    @given(
+        f=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_non_silent_phases_bounded_by_f_plus_one(self, f, seed):
+        """Section 6.1: with silent failures below the fallback
+        threshold, at most f+1 weak-BA phases are non-silent."""
+        config = SystemConfig.with_optimal_resilience(13)
+        import random
+
+        rng = random.Random(seed)
+        targets = rng.sample(list(config.processes), f)
+        byzantine = {pid: SilentBehavior() for pid in targets}
+        validity = lambda suite, cfg: ExternalValidity(
+            lambda v: isinstance(v, str)
+        )
+        inputs = {p: "v" for p in config.processes if p not in byzantine}
+        result = run_weak_ba(
+            config, inputs, validity, byzantine=byzantine, seed=seed
+        )
+        if not result.fallback_was_used():
+            assert result.trace.count("phase_non_silent") <= f + 1

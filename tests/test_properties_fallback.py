@@ -1,0 +1,172 @@
+"""Property-based tests focused on the fallback substrate.
+
+The recursive BA's correctness argument leans on two graded-consensus
+properties (validity, graded agreement) and on honest-majority
+committees; these tests attack them with randomized adversary
+placement, mixed behaviors, and randomized inputs.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.behaviors import EchoBehavior, GarbageSpammer, SilentBehavior
+from repro.adversary.protocol_attacks import GcEquivocator
+from repro.config import SystemConfig
+from repro.fallback.graded_consensus import graded_consensus
+from repro.fallback.phase_king import run_phase_king
+from repro.fallback.recursive_ba import run_fallback_ba
+from repro.runtime.pool import MessagePool
+from repro.runtime.scheduler import Simulation
+
+fallback_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_gc(config, inputs, byzantine, seed=0):
+    simulation = Simulation(config, seed=seed)
+    members = tuple(config.processes)
+
+    def factory(value):
+        def build(ctx):
+            def protocol(ctx):
+                pool = MessagePool()
+                return (
+                    yield from graded_consensus(
+                        ctx, members, value, "prop-gc", 1, pool
+                    )
+                )
+
+            return protocol(ctx)
+
+        return build
+
+    for pid in config.processes:
+        if pid in byzantine:
+            simulation.add_byzantine(pid, byzantine[pid])
+        else:
+            simulation.add_process(pid, factory(inputs[pid]))
+    return simulation.run()
+
+
+def _mixed_behavior(kind, members):
+    if kind == "silent":
+        return SilentBehavior()
+    if kind == "garbage":
+        return GarbageSpammer()
+    if kind == "echo":
+        return EchoBehavior()
+    return GcEquivocator(
+        session="prop-gc", members=members, value_a="EQA", value_b="EQB"
+    )
+
+
+class TestGradedConsensusProperties:
+    @fallback_settings
+    @given(
+        n=st.sampled_from([5, 7, 9]),
+        f=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+        kinds=st.lists(
+            st.sampled_from(["silent", "garbage", "echo", "equivocate"]),
+            min_size=4,
+            max_size=4,
+        ),
+        unanimous=st.booleans(),
+    )
+    def test_graded_agreement_invariant(self, n, f, seed, kinds, unanimous):
+        config = SystemConfig.with_optimal_resilience(n)
+        f = min(f, config.t)
+        members = tuple(config.processes)
+        rng = random.Random(seed)
+        targets = rng.sample(list(config.processes), f)
+        byzantine = {
+            pid: _mixed_behavior(kinds[i % len(kinds)], members)
+            for i, pid in enumerate(targets)
+        }
+        inputs = {
+            p: ("V" if unanimous else f"v{p % 2}")
+            for p in config.processes
+            if p not in byzantine
+        }
+        result = run_gc(config, inputs, byzantine, seed)
+        outputs = list(result.decisions.values())
+
+        # Graded agreement: at most one grade-2 value; grade 2 forces
+        # everyone to grade >= 1 on the same value.
+        grade2 = {v for v, g in outputs if g == 2}
+        assert len(grade2) <= 1
+        if grade2:
+            (winner,) = grade2
+            for value, grade in outputs:
+                assert grade >= 1
+                assert value == winner
+
+        # Validity: unanimous honest inputs always end grade 2.
+        if unanimous:
+            for value, grade in outputs:
+                assert (value, grade) == ("V", 2)
+
+
+class TestRecursiveBaProperties:
+    @fallback_settings
+    @given(
+        n=st.sampled_from([5, 7, 9, 11]),
+        f=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+        kind=st.sampled_from(["silent", "garbage", "echo"]),
+        unanimous=st.booleans(),
+    )
+    def test_agreement_and_unanimity(self, n, f, seed, kind, unanimous):
+        config = SystemConfig.with_optimal_resilience(n)
+        f = min(f, config.t)
+        rng = random.Random(seed)
+        targets = rng.sample(list(config.processes), f)
+        byzantine = {
+            pid: _mixed_behavior(kind, tuple(config.processes))
+            for pid in targets
+        }
+        inputs = {
+            p: ("V" if unanimous else f"v{p % 3}")
+            for p in config.processes
+            if p not in byzantine
+        }
+        result = run_fallback_ba(
+            config, inputs, byzantine=byzantine, seed=seed
+        )
+        decision = result.unanimous_decision()
+        if unanimous:
+            assert decision == "V"
+        else:
+            assert decision in set(inputs.values())
+
+
+class TestPhaseKingProperties:
+    @fallback_settings
+    @given(
+        t=st.sampled_from([1, 2]),
+        f=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=10_000),
+        value=st.sampled_from([0, 1]),
+        unanimous=st.booleans(),
+    )
+    def test_agreement_and_unanimity(self, t, f, seed, value, unanimous):
+        config = SystemConfig(n=4 * t + 1, t=t)
+        f = min(f, t)
+        rng = random.Random(seed)
+        targets = rng.sample(list(config.processes), f)
+        byzantine = {pid: SilentBehavior() for pid in targets}
+        inputs = {
+            p: (value if unanimous else p % 2)
+            for p in config.processes
+            if p not in byzantine
+        }
+        result = run_phase_king(config, inputs, byzantine=byzantine, seed=seed)
+        decision = result.unanimous_decision()
+        assert decision in (0, 1)
+        if unanimous:
+            assert decision == value

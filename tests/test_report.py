@@ -1,0 +1,42 @@
+"""Tests for the condensed reproduction-report generator."""
+
+from repro.analysis.report import ClaimResult, collect_claims, render_report
+from repro.cli import main
+
+
+class TestCollect:
+    def test_all_claims_reproduce(self):
+        claims = collect_claims(ns=(5, 9, 13))
+        assert len(claims) >= 8
+        failing = [c.claim for c in claims if not c.holds]
+        assert not failing, f"claims not reproduced: {failing}"
+
+    def test_claims_cover_every_table1_row(self):
+        claims = collect_claims(ns=(5, 9))
+        text = " ".join(c.claim for c in claims)
+        for needle in ("BB", "weak BA", "strong BA", "A_fallback", "Lemma 6",
+                       "Lemma 8", "Dolev-Strong"):
+            assert needle in text
+
+
+class TestRender:
+    def test_markdown_structure(self):
+        claims = [
+            ClaimResult("c1", "p1", "m1", True),
+            ClaimResult("c2", "p2", "m2", False),
+        ]
+        text = render_report(claims)
+        assert text.startswith("# Reproduction report")
+        assert "| c1 | p1 | m1 | ✓ reproduced |" in text
+        assert "✗ MISMATCH" in text
+        assert "**1/2 claims reproduced.**" in text
+
+
+class TestCliIntegration:
+    def test_report_command_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["report", "--ns", "5", "9", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()
+        assert "reproduced" in capsys.readouterr().out

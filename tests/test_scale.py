@@ -1,0 +1,63 @@
+"""Larger-scale smoke tests: the protocols at n = 41 and n = 61.
+
+These guard against accidental super-linear blowups in the *simulator*
+(envelope handling, pool scans) as much as in the protocols.
+"""
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.config import SystemConfig
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.strong_ba import run_strong_ba
+from repro.fallback.recursive_ba import run_fallback_ba
+
+
+class TestLargeDeployments:
+    def test_bb_n41_failure_free(self):
+        config = SystemConfig.with_optimal_resilience(41)
+        result = run_byzantine_broadcast(config, sender=0, value="v")
+        assert result.unanimous_decision() == "v"
+        assert not result.fallback_was_used()
+        # 6 payload rounds, each <= n-1 words.
+        assert result.correct_words <= 6 * config.n
+
+    def test_bb_n61_failure_free(self):
+        config = SystemConfig.with_optimal_resilience(61)
+        result = run_byzantine_broadcast(config, sender=0, value="v")
+        assert result.unanimous_decision() == "v"
+        assert result.correct_words <= 6 * config.n
+
+    def test_strong_ba_n41(self):
+        config = SystemConfig.with_optimal_resilience(41)
+        result = run_strong_ba(config, {p: 1 for p in config.processes})
+        assert result.unanimous_decision() == 1
+        assert result.correct_words <= 4 * config.n
+
+    def test_bb_n41_worst_case_quadratic_band(self):
+        config = SystemConfig.with_optimal_resilience(41)
+        byzantine = {p: SilentBehavior() for p in range(1, config.t + 1)}
+        result = run_byzantine_broadcast(
+            config, sender=0, value="v", byzantine=byzantine
+        )
+        assert result.unanimous_decision() == "v"
+        assert result.fallback_was_used()
+        assert result.correct_words <= 25 * config.n**2
+
+    def test_fallback_n41_with_failures(self):
+        config = SystemConfig.with_optimal_resilience(41)
+        byzantine = {p: SilentBehavior() for p in range(1, 21)}
+        inputs = {
+            p: "v" for p in config.processes if p not in byzantine
+        }
+        result = run_fallback_ba(config, inputs, byzantine=byzantine)
+        assert result.unanimous_decision() == "v"
+
+    def test_adaptive_advantage_at_scale(self):
+        """n=41: the f=0 run is two orders cheaper than the f=t run —
+        the paper's whole point, at a size where it matters."""
+        config = SystemConfig.with_optimal_resilience(41)
+        quiet = run_byzantine_broadcast(config, sender=0, value="v")
+        byzantine = {p: SilentBehavior() for p in range(1, config.t + 1)}
+        noisy = run_byzantine_broadcast(
+            config, sender=0, value="v", byzantine=byzantine
+        )
+        assert noisy.correct_words > 50 * quiet.correct_words

@@ -1,0 +1,89 @@
+"""Tests for the SMR application built on adaptive BB."""
+
+import pytest
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.apps.smr import KeyValueStore, run_smr
+from repro.config import SystemConfig
+
+
+class TestKeyValueStore:
+    def test_set_and_del(self):
+        store = KeyValueStore()
+        store.apply(("set", "a", 1))
+        store.apply(("set", "b", 2))
+        store.apply(("del", "a"))
+        assert store.data == {"b": 2}
+        assert store.applied == 3
+
+    def test_garbage_commands_are_noops(self):
+        store = KeyValueStore()
+        for garbage in (None, 42, ("set",), ("set", 7, 1), ("unknown", 1), ()):
+            store.apply(garbage)
+        assert store.data == {}
+        assert store.applied == 6
+
+    def test_snapshot_deterministic(self):
+        a, b = KeyValueStore(), KeyValueStore()
+        a.apply(("set", "x", 1))
+        a.apply(("set", "y", 2))
+        b.apply(("set", "y", 2))
+        b.apply(("set", "x", 1))
+        assert a.snapshot() == b.snapshot()
+
+
+class TestReplication:
+    def test_logs_identical_failure_free(self, config5):
+        commands = {
+            pid: [("set", f"k{pid}", pid)] for pid in config5.processes
+        }
+        result = run_smr(config5, commands, num_slots=5)
+        outcome = result.unanimous_decision()
+        assert len(outcome.log) == 5
+        assert dict(outcome.state) == {f"k{p}": p for p in range(5)}
+
+    def test_rotating_senders_commit_in_slot_order(self, config5):
+        commands = {pid: [("set", "slot", pid)] for pid in config5.processes}
+        result = run_smr(config5, commands, num_slots=5)
+        outcome = result.unanimous_decision()
+        assert [c[2] for c in outcome.log] == [0, 1, 2, 3, 4]
+
+    def test_noop_fills_empty_queues(self, config5):
+        result = run_smr(config5, {0: [("set", "a", 1)]}, num_slots=5)
+        outcome = result.unanimous_decision()
+        assert outcome.log[0] == ("set", "a", 1)
+        assert all(c == ("noop",) for c in outcome.log[1:])
+
+    def test_crashed_replica_slot_commits_bottom(self, config5):
+        byzantine = {2: SilentBehavior()}
+        commands = {
+            pid: [("set", f"k{pid}", pid)]
+            for pid in config5.processes
+            if pid != 2
+        }
+        result = run_smr(config5, commands, num_slots=5, byzantine=byzantine)
+        outcome = result.unanimous_decision()
+        # Slot 2's sender is dead: its slot is empty, the rest commit.
+        assert len(outcome.log) == 4
+        assert dict(outcome.state) == {
+            f"k{p}": p for p in range(5) if p != 2
+        }
+        assert result.trace.count("smr_empty_slot") >= 1
+
+    def test_states_agree_under_max_failures(self):
+        config = SystemConfig.with_optimal_resilience(5)
+        byzantine = {1: SilentBehavior(), 3: SilentBehavior()}
+        commands = {
+            pid: [("set", "winner", pid)]
+            for pid in config.processes
+            if pid not in byzantine
+        }
+        result = run_smr(config, commands, num_slots=3, byzantine=byzantine)
+        result.unanimous_decision()
+
+    def test_word_cost_linear_per_failure_free_slot(self, config5):
+        one = run_smr(config5, {0: [("noop",)]}, num_slots=1)
+        three = run_smr(config5, {0: [("noop",)]}, num_slots=3)
+        per_slot_one = one.correct_words
+        per_slot_three = three.correct_words / 3
+        assert per_slot_three == pytest.approx(per_slot_one, rel=0.2)

@@ -1,0 +1,63 @@
+"""Adversarial leader tests for Algorithm 5 (Lemma 26's content)."""
+
+import pytest
+
+from repro.adversary.protocol_attacks import StrongBaEquivocatingLeader
+from repro.core.strong_ba import run_strong_ba, strong_ba_protocol
+from repro.runtime.scheduler import Simulation
+
+
+def run_with_equivocating_leader(config, inputs, seed=0):
+    simulation = Simulation(config, seed=seed)
+    simulation.add_byzantine(0, StrongBaEquivocatingLeader())
+    for pid in config.processes:
+        if pid == 0:
+            continue
+        simulation.add_process(
+            pid, lambda ctx, v=inputs[pid]: strong_ba_protocol(ctx, v)
+        )
+    return simulation.run()
+
+
+class TestEquivocatingLeader:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_split_and_agreement(self, seed, config7):
+        """Mixed inputs let the Byzantine leader build both propose
+        certificates; it deals them to disjoint halves.  The n-of-n
+        decide quorum (Lemma 26) blocks any fast decision, and the
+        fallback restores agreement."""
+        inputs = {p: p % 2 for p in config7.processes}
+        result = run_with_equivocating_leader(config7, inputs, seed)
+        assert result.trace.any("sba_leader_equivocated")
+        # Nobody decided on the fast path...
+        assert not result.trace.any("sba_decided_fast")
+        # ...everyone fell back and agreed on a binary value.
+        assert result.fallback_was_used()
+        assert result.unanimous_decision() in (0, 1)
+
+    def test_unanimous_inputs_defuse_the_attack(self, config7):
+        """With unanimous correct inputs the leader cannot even build
+        the second propose certificate (the other value has at most t
+        backers), so equivocation is impossible and strong unanimity
+        carries through the fallback."""
+        inputs = {p: 1 for p in config7.processes}
+        result = run_with_equivocating_leader(config7, inputs)
+        assert not result.trace.any("sba_leader_equivocated")
+        assert result.unanimous_decision() == 1
+
+
+class TestDecideQuorumUniqueness:
+    def test_any_failure_blocks_the_n_of_n_certificate(self, config7):
+        """The decide certificate needs every process, so a single
+        silent process already forces the fallback (measured in
+        bench_table1_strong_linear as the f=1 quadratic jump)."""
+        from repro.adversary.behaviors import SilentBehavior
+
+        result = run_strong_ba(
+            config7,
+            {p: 1 for p in config7.processes if p != 6},
+            byzantine={6: SilentBehavior()},
+        )
+        assert not result.trace.any("sba_decided_fast")
+        assert result.fallback_was_used()
+        assert result.unanimous_decision() == 1

@@ -1,0 +1,99 @@
+"""Tests for the localhost-TCP transport."""
+
+import asyncio
+
+import pytest
+
+from repro.asyncnet.tcp import run_over_tcp
+from repro.core.byzantine_broadcast import (
+    byzantine_broadcast_protocol,
+    run_byzantine_broadcast,
+)
+from repro.core.strong_ba import strong_ba_protocol
+from repro.errors import SchedulerError
+
+TICK = 0.03
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestTcpTransport:
+    def test_bb_over_sockets(self, config5):
+        result = run(
+            run_over_tcp(
+                config5,
+                {
+                    pid: (lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"))
+                    for pid in config5.processes
+                },
+                tick_duration=TICK,
+            )
+        )
+        assert result.unanimous_decision() == "v"
+
+    def test_word_bill_matches_simulator(self, config5):
+        """The transport changes; the paper's complexity measure does
+        not.  A generous synchrony bound keeps the round clock honest
+        even when the test machine is under load; one retry guards
+        against pathological scheduler stalls."""
+        simulated = run_byzantine_broadcast(config5, sender=0, value="v")
+        for attempt, tick in enumerate((0.08, 0.15)):
+            over_tcp = run(
+                run_over_tcp(
+                    config5,
+                    {
+                        pid: (
+                            lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v")
+                        )
+                        for pid in config5.processes
+                    },
+                    tick_duration=tick,
+                )
+            )
+            if over_tcp.correct_words == simulated.correct_words:
+                break
+        assert over_tcp.correct_words == simulated.correct_words
+        assert over_tcp.unanimous_decision() == "v"
+
+    def test_strong_ba_over_sockets(self, config5):
+        result = run(
+            run_over_tcp(
+                config5,
+                {
+                    pid: (lambda ctx: strong_ba_protocol(ctx, 1))
+                    for pid in config5.processes
+                },
+                tick_duration=TICK,
+            )
+        )
+        assert result.unanimous_decision() == 1
+
+    def test_crashed_machine(self, config5):
+        """A crashed process has no TCP node; sends to it evaporate and
+        the survivors still agree."""
+        result = run(
+            run_over_tcp(
+                config5,
+                {
+                    pid: (lambda ctx: byzantine_broadcast_protocol(ctx, 0, "v"))
+                    for pid in config5.processes
+                    if pid != 3
+                },
+                crashed=frozenset({3}),
+                tick_duration=TICK,
+            )
+        )
+        assert result.unanimous_decision() == "v"
+        assert result.corrupted == frozenset({3})
+
+    def test_missing_factory_rejected(self, config5):
+        with pytest.raises(SchedulerError):
+            run(
+                run_over_tcp(
+                    config5,
+                    {0: lambda ctx: strong_ba_protocol(ctx, 1)},
+                    tick_duration=TICK,
+                )
+            )

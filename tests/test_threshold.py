@@ -1,0 +1,135 @@
+"""Unit tests for the Shamir-based threshold signature scheme."""
+
+import pytest
+
+from repro.crypto.threshold import ThresholdScheme, ThresholdSignature
+from repro.errors import (
+    DuplicateShareError,
+    InsufficientSharesError,
+    ThresholdError,
+    UnknownSignerError,
+)
+
+
+@pytest.fixture
+def scheme() -> ThresholdScheme:
+    return ThresholdScheme("test", k=4, n=7, seed=b"s")
+
+
+class TestPartials:
+    def test_partial_verifies(self, scheme):
+        partial = scheme.partial_sign(2, "msg")
+        assert scheme.verify_partial(partial, "msg")
+
+    def test_partial_wrong_message_rejected(self, scheme):
+        partial = scheme.partial_sign(2, "msg")
+        assert not scheme.verify_partial(partial, "other")
+
+    def test_partial_from_wrong_scheme_rejected(self, scheme):
+        other = ThresholdScheme("other", k=4, n=7, seed=b"s")
+        partial = other.partial_sign(2, "msg")
+        assert not scheme.verify_partial(partial, "msg")
+
+    def test_unknown_share_holder(self, scheme):
+        with pytest.raises(UnknownSignerError):
+            scheme.partial_sign(10, "msg")
+
+
+class TestCombine:
+    def test_any_k_subset_combines_to_same_signature(self, scheme):
+        partials = [scheme.partial_sign(pid, "m") for pid in range(7)]
+        sig_a = scheme.combine(partials[:4])
+        sig_b = scheme.combine(partials[3:])
+        assert sig_a.value == sig_b.value
+        assert scheme.verify(sig_a, "m")
+        assert scheme.verify(sig_b, "m")
+
+    def test_combined_signature_is_one_word(self, scheme):
+        partials = [scheme.partial_sign(pid, "m") for pid in range(4)]
+        assert scheme.combine(partials).words() == 1
+
+    def test_insufficient_shares_rejected(self, scheme):
+        partials = [scheme.partial_sign(pid, "m") for pid in range(3)]
+        with pytest.raises(InsufficientSharesError):
+            scheme.combine(partials)
+        with pytest.raises(InsufficientSharesError):
+            scheme.combine([])
+
+    def test_duplicate_signer_rejected(self, scheme):
+        partial = scheme.partial_sign(0, "m")
+        others = [scheme.partial_sign(pid, "m") for pid in range(1, 4)]
+        with pytest.raises(DuplicateShareError):
+            scheme.combine([partial, partial, *others])
+
+    def test_mixed_messages_rejected(self, scheme):
+        partials = [scheme.partial_sign(pid, "m") for pid in range(3)]
+        partials.append(scheme.partial_sign(3, "different"))
+        with pytest.raises(ThresholdError):
+            scheme.combine(partials)
+
+    def test_mixed_schemes_rejected(self, scheme):
+        other = ThresholdScheme("other", k=4, n=7, seed=b"s")
+        partials = [scheme.partial_sign(pid, "m") for pid in range(3)]
+        partials.append(other.partial_sign(3, "m"))
+        with pytest.raises(ThresholdError):
+            scheme.combine(partials)
+
+
+class TestVerification:
+    def test_wrong_message_rejected(self, scheme):
+        partials = [scheme.partial_sign(pid, "m") for pid in range(4)]
+        signature = scheme.combine(partials)
+        assert not scheme.verify(signature, "other")
+
+    def test_forged_value_rejected(self, scheme):
+        partials = [scheme.partial_sign(pid, "m") for pid in range(4)]
+        signature = scheme.combine(partials)
+        forged = ThresholdSignature(
+            scheme_id=signature.scheme_id,
+            digest=signature.digest,
+            value=(signature.value + 1),
+            signers=signature.signers,
+        )
+        assert not scheme.verify(forged, "m")
+
+    def test_below_threshold_forgery_fails(self, scheme):
+        """k-1 colluding holders cannot produce a verifying signature by
+        interpolating what they have."""
+        from repro.crypto import field
+
+        partials = [scheme.partial_sign(pid, "m") for pid in range(3)]
+        points = [(p.signer + 1, p.value) for p in partials]
+        guess = field.interpolate_at_zero(points)
+        forged = ThresholdSignature(
+            scheme_id=partials[0].scheme_id,
+            digest=partials[0].digest,
+            value=guess,
+            signers=frozenset(range(3)),
+        )
+        assert not scheme.verify(forged, "m")
+
+
+class TestCommitteeRestriction:
+    def test_members_only_hold_shares(self):
+        scheme = ThresholdScheme(
+            "committee", k=2, n=7, seed=b"s", members=frozenset({1, 3, 5})
+        )
+        assert scheme.members == frozenset({1, 3, 5})
+        partial = scheme.partial_sign(3, "m")
+        assert scheme.verify_partial(partial, "m")
+        with pytest.raises(UnknownSignerError):
+            scheme.partial_sign(0, "m")
+
+    def test_k_bounded_by_committee_size(self):
+        with pytest.raises(ThresholdError):
+            ThresholdScheme("c", k=4, n=7, seed=b"s", members=frozenset({1, 2}))
+
+    def test_members_outside_range_rejected(self):
+        with pytest.raises(ThresholdError):
+            ThresholdScheme("c", k=1, n=3, seed=b"s", members=frozenset({5}))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ThresholdError):
+            ThresholdScheme("bad", k=0, n=5)
+        with pytest.raises(ThresholdError):
+            ThresholdScheme("bad", k=6, n=5)

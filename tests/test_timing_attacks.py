@@ -1,0 +1,156 @@
+"""Timing-based attacks: late releases, replays, future-phase messages.
+
+The synchronous model constrains *honest* delivery, not when the
+adversary chooses to speak; these tests check the protocols' windows
+and tag filtering against out-of-schedule traffic.
+"""
+
+from dataclasses import dataclass
+
+from repro.adversary.protocol_attacks import (
+    FallbackCertDealer,
+    WeakBaSplitFinalizeLeader,
+)
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import (
+    FALLBACK_STATEMENT,
+    WbaFallbackCert,
+    WbaPropose,
+    fallback_label,
+    run_weak_ba,
+)
+from repro.crypto.certificates import CertificateCollector
+from repro.runtime.byzantine import ByzantineApi
+from repro.runtime.scheduler import Simulation
+
+VALIDITY = ExternalValidity(lambda v: isinstance(v, str))
+VALIDITY_FACTORY = lambda suite, cfg: VALIDITY
+
+
+@dataclass
+class LateCertReleaser:
+    """Collects help-request shares like the dealer, but releases the
+    certificate long after every correct process's grace window."""
+
+    release_tick: int
+    session: str = "wba"
+
+    def __post_init__(self) -> None:
+        self._partials = []
+
+    def step(self, api: ByzantineApi) -> None:
+        from repro.core.weak_ba import WbaHelpReq
+
+        for envelope in api.inbox:
+            if isinstance(envelope.payload, WbaHelpReq):
+                self._partials.append(envelope.payload.partial)
+        if api.now == self.release_tick and self._partials:
+            collector = CertificateCollector(
+                api.suite,
+                fallback_label(self.session),
+                api.config.small_quorum,
+                FALLBACK_STATEMENT,
+            )
+            for partial in self._partials:
+                collector.add(partial)
+            for accomplice in api.corrupted:
+                collector.add(
+                    api.suite.partial_for_certificate(
+                        accomplice,
+                        fallback_label(self.session),
+                        api.config.small_quorum,
+                        FALLBACK_STATEMENT,
+                    )
+                )
+            if collector.complete:
+                for pid in api.config.processes:
+                    if pid not in api.corrupted:
+                        api.send(
+                            pid,
+                            WbaFallbackCert(
+                                session=self.session,
+                                certificate=collector.certificate(),
+                                value=None,
+                                proof=None,
+                                proof_phase=0,
+                            ),
+                        )
+
+
+@dataclass
+class FuturePhaseSpammer:
+    """Floods proposals tagged with phases far in the future (and far in
+    the past) — pool filtering must keep them inert."""
+
+    session: str = "wba"
+
+    def step(self, api: ByzantineApi) -> None:
+        for phase in (-3, 0, 999, 10_000):
+            api.broadcast(
+                WbaPropose(session=self.session, phase=phase, value="ghost")
+            )
+
+
+class TestLateRelease:
+    def test_late_certificate_does_not_block_termination(self, config7):
+        """The adversary sits on a combinable certificate and releases
+        it after every correct process's grace window: the run must
+        still terminate, unanimously, without a fallback."""
+        simulation = Simulation(config7, seed=0)
+        # One split leader creates undecided processes (their help_reqs
+        # feed the releaser); two more Byzantine complete the coalition.
+        simulation.add_byzantine(
+            1,
+            WeakBaSplitFinalizeLeader(value="v", recipients=frozenset({2, 4})),
+        )
+        simulation.add_byzantine(5, LateCertReleaser(release_tick=200))
+        simulation.add_byzantine(6, LateCertReleaser(release_tick=210))
+        from repro.core.weak_ba import weak_ba_protocol
+
+        for pid in (0, 2, 3, 4):
+            simulation.add_process(
+                pid, lambda ctx: weak_ba_protocol(ctx, "v", VALIDITY)
+            )
+        result = simulation.run()
+        assert result.unanimous_decision() == "v"
+        # Everyone decided and halted long before the release tick.
+        assert all(tick < 200 for tick in result.halted_at.values())
+
+
+class TestTagFiltering:
+    def test_future_and_past_phase_proposals_ignored(self, config7):
+        byzantine = {3: FuturePhaseSpammer()}
+        inputs = {p: "v" for p in config7.processes if p != 3}
+        result = run_weak_ba(
+            config7, inputs, VALIDITY_FACTORY, byzantine=byzantine
+        )
+        assert result.unanimous_decision() == "v"
+        # The ghosts never gathered a single honest vote.
+        votes = [
+            r for r in result.ledger.records
+            if r.payload_type == "WbaVote" and r.sender_correct
+        ]
+        assert len(votes) <= config7.n  # only phase 1's legitimate votes
+
+    def test_cross_session_replay_is_inert(self, config7):
+        """Messages recorded in one BB session cannot influence another
+        (session tags bind every certificate and payload)."""
+
+        @dataclass
+        class Replayer:
+            recorded: list
+
+            def step(self, api: ByzantineApi) -> None:
+                for envelope in api.inbox:
+                    self.recorded.append(envelope.payload)
+                # Replay everything seen so far, every tick.
+                for payload in self.recorded[-10:]:
+                    api.broadcast(payload)
+
+        byzantine = {4: Replayer(recorded=[])}
+        result = run_byzantine_broadcast(
+            config7, sender=0, value="original", byzantine=byzantine,
+            seed=7,
+        )
+        assert result.unanimous_decision() == "original"

@@ -1,0 +1,106 @@
+"""Tests for the unique-validity predicate framework."""
+
+from repro.core.validity import (
+    IDK_LABEL,
+    INPUT_LABEL,
+    AlwaysValid,
+    BroadcastValidity,
+    ExternalValidity,
+    SignedInputsValidity,
+)
+from repro.core.values import BOTTOM
+from repro.crypto.signatures import SignedValue, sign_value
+
+
+def make_idk_cert(suite, config, statement="idk:bb", signers=None):
+    signers = signers if signers is not None else range(config.small_quorum)
+    partials = [
+        suite.partial_for_certificate(pid, IDK_LABEL, config.small_quorum, statement)
+        for pid in signers
+    ]
+    return suite.combine_certificate(
+        IDK_LABEL, config.small_quorum, statement, partials
+    )
+
+
+class TestBroadcastValidity:
+    def test_sender_signed_value_valid(self, config7, suite7):
+        validity = BroadcastValidity(suite7, config7, sender=0)
+        assert validity.validate(sign_value(suite7.signer(0), "v"))
+
+    def test_other_process_signature_invalid(self, config7, suite7):
+        validity = BroadcastValidity(suite7, config7, sender=0)
+        assert not validity.validate(sign_value(suite7.signer(1), "v"))
+
+    def test_tampered_sender_value_invalid(self, config7, suite7):
+        validity = BroadcastValidity(suite7, config7, sender=0)
+        signed = sign_value(suite7.signer(0), "v")
+        tampered = SignedValue(payload="w", signature=signed.signature)
+        assert not validity.validate(tampered)
+
+    def test_idk_certificate_valid(self, config7, suite7):
+        validity = BroadcastValidity(suite7, config7, sender=0)
+        assert validity.validate(make_idk_cert(suite7, config7))
+
+    def test_low_quorum_idk_cert_invalid(self, config7, suite7):
+        """Downgrade guard: an idk 'certificate' from a k=1 scheme must
+        not satisfy BB_valid."""
+        partials = [suite7.partial_for_certificate(3, IDK_LABEL, 1, "idk:bb")]
+        cert = suite7.combine_certificate(IDK_LABEL, 1, "idk:bb", partials)
+        validity = BroadcastValidity(suite7, config7, sender=0)
+        assert not validity.validate(cert)
+
+    def test_garbage_invalid(self, config7, suite7):
+        validity = BroadcastValidity(suite7, config7, sender=0)
+        for garbage in (None, BOTTOM, "string", 42, ("tuple",)):
+            assert not validity.validate(garbage)
+
+    def test_callable_interface(self, config7, suite7):
+        validity = BroadcastValidity(suite7, config7, sender=0)
+        assert validity(sign_value(suite7.signer(0), "v"))
+
+
+class TestSignedInputsValidity:
+    def test_input_certificate_valid(self, config7, suite7):
+        partials = [
+            suite7.partial_for_certificate(
+                pid, INPUT_LABEL, config7.small_quorum, ("input", "v")
+            )
+            for pid in range(config7.small_quorum)
+        ]
+        cert = suite7.combine_certificate(
+            INPUT_LABEL, config7.small_quorum, ("input", "v"), partials
+        )
+        validity = SignedInputsValidity(suite7, config7)
+        assert validity.validate(cert)
+
+    def test_wrong_label_invalid(self, config7, suite7):
+        cert = make_idk_cert(suite7, config7)
+        assert not SignedInputsValidity(suite7, config7).validate(cert)
+
+    def test_non_certificate_invalid(self, config7, suite7):
+        validity = SignedInputsValidity(suite7, config7)
+        assert not validity.validate("v")
+
+
+class TestExternalValidity:
+    def test_wraps_predicate(self):
+        validity = ExternalValidity(lambda v: isinstance(v, int) and v > 0)
+        assert validity.validate(3)
+        assert not validity.validate(-1)
+        assert not validity.validate("x")
+
+    def test_swallows_exceptions(self):
+        def explosive(v):
+            raise RuntimeError("boom")
+
+        assert not ExternalValidity(explosive).validate("anything")
+
+
+class TestAlwaysValid:
+    def test_rejects_only_none_and_bottom(self):
+        validity = AlwaysValid()
+        assert validity.validate("x")
+        assert validity.validate(0)
+        assert not validity.validate(None)
+        assert not validity.validate(BOTTOM)

@@ -1,0 +1,93 @@
+"""Value-domain stress: the protocols are value-agnostic, so every
+layer (canonical encoding, threshold statements, pools, certificates)
+must handle rich payload values — nested tuples, bytes, enums, long
+strings, signed wrappers — not just the short strings most tests use.
+"""
+
+from enum import Enum
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+from repro.fallback.recursive_ba import run_fallback_ba
+
+
+class Color(Enum):
+    RED = 1
+    BLUE = 2
+
+
+RICH_VALUES = [
+    ("nested", ("tuples", ("all", "the", "way")), 42),
+    b"\x00\x01binary payload\xff",
+    "x" * 500,
+    (True, False, None, 0, -1, 2**100),
+    Color.RED,
+    ((), (), ()),
+]
+
+value_strategy = st.one_of(
+    st.text(max_size=50),
+    st.binary(max_size=50),
+    st.integers(),
+    st.tuples(st.text(max_size=10), st.integers(), st.booleans()),
+    st.sampled_from(RICH_VALUES),
+)
+
+
+class TestBroadcastValueDomains:
+    @pytest.mark.parametrize("value", RICH_VALUES, ids=repr)
+    def test_bb_carries_rich_values(self, value, config5):
+        result = run_byzantine_broadcast(config5, sender=0, value=value)
+        assert result.unanimous_decision() == value
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(value=value_strategy, seed=st.integers(min_value=0, max_value=99))
+    def test_bb_property_over_value_domain(self, value, seed):
+        config = SystemConfig.with_optimal_resilience(5)
+        result = run_byzantine_broadcast(
+            config, sender=0, value=value, seed=seed
+        )
+        assert result.unanimous_decision() == value
+
+
+class TestAgreementValueDomains:
+    def test_weak_ba_over_tuple_values(self, config5):
+        validity = lambda suite, cfg: ExternalValidity(
+            lambda v: isinstance(v, tuple)
+        )
+        value = ("command", ("nested", 1), b"blob")
+        result = run_weak_ba(
+            config5, {p: value for p in config5.processes}, validity
+        )
+        assert result.unanimous_decision() == value
+
+    def test_fallback_over_mixed_rich_inputs(self, config5):
+        inputs = {
+            p: RICH_VALUES[p % len(RICH_VALUES)] for p in config5.processes
+        }
+        result = run_fallback_ba(config5, inputs)
+        assert result.unanimous_decision() in set(inputs.values())
+
+    def test_weak_ba_many_distinct_values(self):
+        """13 processes, 13 distinct valid proposals: agreement on one
+        of them or ⊥, never a made-up value."""
+        from repro.core.values import BOTTOM
+
+        config = SystemConfig.with_optimal_resilience(13)
+        validity = lambda suite, cfg: ExternalValidity(
+            lambda v: isinstance(v, tuple) and len(v) == 2
+        )
+        inputs = {p: ("proposal", p) for p in config.processes}
+        result = run_weak_ba(config, inputs, validity)
+        decision = result.unanimous_decision()
+        assert decision == BOTTOM or decision in set(inputs.values())

@@ -1,0 +1,123 @@
+"""Tests for the post-run invariant verifier."""
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+from repro.core.values import BOTTOM, UNDECIDED
+from repro.metrics.words import WordLedger
+from repro.runtime.result import RunResult
+from repro.runtime.trace import Trace
+from repro.verify import (
+    adaptive_word_budget,
+    quadratic_word_budget,
+    verify_run,
+)
+
+
+def synthetic_result(config5, decisions, corrupted=frozenset(), trace=None):
+    return RunResult(
+        config=config5,
+        decisions=decisions,
+        corrupted=frozenset(corrupted),
+        ledger=WordLedger(),
+        trace=trace or Trace(),
+        ticks=5,
+    )
+
+
+class TestAgainstRealRuns:
+    def test_clean_bb_run_verifies(self, config7):
+        result = run_byzantine_broadcast(config7, sender=0, value="v")
+        report = verify_run(
+            result,
+            expected_decision="v",
+            word_budget=adaptive_word_budget(),
+            check_lemma6=True,
+        )
+        assert report.ok, report.summary()
+        assert "lemma6" in report.checked
+
+    def test_weak_ba_unique_validity_accepts_bottom(self, config7):
+        inputs = {p: f"v{p % 2}" for p in config7.processes}
+        validity = lambda suite, cfg: ExternalValidity(
+            lambda v: isinstance(v, str)
+        )
+        result = run_weak_ba(config7, inputs, validity)
+        report = verify_run(
+            result,
+            validity=lambda v: isinstance(v, str),
+            allow_bottom=True,
+        )
+        assert report.ok, report.summary()
+
+    def test_worst_case_run_fits_quadratic_budget(self, config7):
+        byzantine = {p: SilentBehavior() for p in (1, 3, 5)}
+        result = run_byzantine_broadcast(
+            config7, sender=0, value="v", byzantine=byzantine
+        )
+        assert verify_run(result, word_budget=quadratic_word_budget()).ok
+        report = verify_run(result, word_budget=adaptive_word_budget(1.0))
+        assert not report.ok  # the tight adaptive budget is exceeded at f=t
+        assert report.violations[0].kind == "word-budget"
+
+
+class TestSyntheticViolations:
+    def test_detects_disagreement(self, config5):
+        result = synthetic_result(
+            config5, {0: "a", 1: "a", 2: "b", 3: "a", 4: "a"}
+        )
+        report = verify_run(result)
+        assert any(v.kind == "agreement" for v in report.violations)
+
+    def test_detects_missing_decision(self, config5):
+        result = synthetic_result(config5, {p: "a" for p in range(4)})
+        report = verify_run(result)
+        assert any(v.kind == "termination" for v in report.violations)
+
+    def test_undecided_sentinel_counts_as_no_decision(self, config5):
+        decisions = {p: "a" for p in range(5)}
+        decisions[2] = UNDECIDED
+        report = verify_run(synthetic_result(config5, decisions))
+        assert any(v.kind == "termination" for v in report.violations)
+
+    def test_corrupted_processes_exempt(self, config5):
+        result = synthetic_result(
+            config5, {p: "a" for p in range(4)}, corrupted={4}
+        )
+        assert verify_run(result).ok
+
+    def test_expected_decision_mismatch(self, config5):
+        result = synthetic_result(config5, {p: "a" for p in range(5)})
+        report = verify_run(result, expected_decision="b")
+        assert any(v.kind == "validity" for v in report.violations)
+
+    def test_validity_predicate_and_bottom(self, config5):
+        result = synthetic_result(config5, {p: 42 for p in range(5)})
+        report = verify_run(result, validity=lambda v: isinstance(v, str))
+        assert any(v.kind == "validity" for v in report.violations)
+
+        bottomed = synthetic_result(config5, {p: BOTTOM for p in range(5)})
+        assert verify_run(
+            bottomed, validity=lambda v: True, allow_bottom=True
+        ).ok
+        report = verify_run(
+            bottomed, validity=lambda v: True, allow_bottom=False
+        )
+        assert any(v.kind == "validity" for v in report.violations)
+
+    def test_decide_once_violation(self, config5):
+        trace = Trace()
+        trace.emit(tick=1, pid=0, scope="bb", name="decided", value="a")
+        trace.emit(tick=2, pid=0, scope="bb", name="decided", value="a")
+        result = synthetic_result(
+            config5, {p: "a" for p in range(5)}, trace=trace
+        )
+        report = verify_run(result)
+        assert any(v.kind == "decide-once" for v in report.violations)
+
+    def test_summary_format(self, config5):
+        ok_report = verify_run(synthetic_result(config5, {p: "a" for p in range(5)}))
+        assert ok_report.summary().startswith("OK")
+        bad = verify_run(synthetic_result(config5, {}))
+        assert "violation" in bad.summary()
