@@ -28,6 +28,7 @@ from repro.config import ProcessId, SystemConfig
 from repro.crypto.certificates import CryptoSuite
 from repro.crypto.keys import Signer
 from repro.errors import SchedulerError
+from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.words import WordLedger
 from repro.runtime.envelope import Envelope
 from repro.runtime.trace import Trace
@@ -47,6 +48,22 @@ class AsyncRunResult:
     @property
     def correct_words(self) -> int:
         return self.ledger.correct_words
+
+    # The accessors below mirror RunResult so that
+    # :func:`repro.verify.checker.verify_run` audits async/TCP runs too.
+
+    @property
+    def f(self) -> int:
+        """Actual number of corrupted processes in the run."""
+        return len(self.corrupted)
+
+    @property
+    def correct_pids(self) -> list[ProcessId]:
+        return [p for p in self.config.processes if p not in self.corrupted]
+
+    def fallback_was_used(self) -> bool:
+        """Whether any correct process entered a fallback execution."""
+        return self.trace.any("fallback_started")
 
     def unanimous_decision(self) -> Any:
         from repro.errors import AgreementViolation
@@ -74,10 +91,19 @@ class AsyncNetwork:
         seed: int = 0,
         tick_duration: float = 0.02,
         latency: float = 0.0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if latency >= tick_duration:
             raise SchedulerError(
                 f"latency ({latency}) must stay below the synchrony bound "
+                f"tick_duration ({tick_duration})"
+            )
+        if fault_plan is not None and (
+            latency + fault_plan.max_delay * tick_duration >= tick_duration
+        ):
+            raise SchedulerError(
+                f"fault_plan.max_delay ({fault_plan.max_delay}) plus latency "
+                f"({latency}) must stay below the synchrony bound "
                 f"tick_duration ({tick_duration})"
             )
         self.config = config
@@ -85,6 +111,8 @@ class AsyncNetwork:
         self.suite = CryptoSuite(config, seed=seed)
         self.tick_duration = tick_duration
         self.latency = latency
+        self.fault_plan = fault_plan
+        self.injector = FaultInjector(fault_plan) if fault_plan is not None else None
         self.ledger = WordLedger()
         self.trace = Trace()
         self.queues: dict[ProcessId, asyncio.Queue] = {}
@@ -95,6 +123,17 @@ class AsyncNetwork:
         if pid not in self.queues:
             self.queues[pid] = asyncio.Queue()
         return self.queues[pid]
+
+    def order_inbox(
+        self, pid: ProcessId, tick: int, envelopes: list[Envelope]
+    ) -> list[Envelope]:
+        """Canonical per-round inbox order: sender sort, or the fault
+        plan's seeded within-``delta`` reordering when one is active.
+        Canonicalizing first makes the order independent of real arrival
+        timing, which keeps same-seed runs trace-identical."""
+        if self.fault_plan is not None:
+            return self.fault_plan.order_inbox(pid, tick, envelopes)
+        return sorted(envelopes, key=lambda e: e.sender)
 
     def post(
         self, sender: ProcessId, to: ProcessId, payload: object, *, tick: int,
@@ -117,13 +156,18 @@ class AsyncNetwork:
             sent_at=tick,
             delivered_at=tick + 1,
         )
-        if self.latency > 0:
-            loop = asyncio.get_running_loop()
-            loop.call_later(
-                self.latency, self.queue_for(to).put_nowait, envelope
-            )
-        else:
-            self.queue_for(to).put_nowait(envelope)
+        if self.injector is None:
+            copies = [0.0]
+        else:  # the ledger billed the send; faults act on the wire
+            copies = self.injector.copies(sender, to, tick)
+        queue = self.queue_for(to)
+        for delay_fraction in copies:
+            delay = self.latency + delay_fraction * self.tick_duration
+            if delay > 0:
+                loop = asyncio.get_running_loop()
+                loop.call_later(delay, queue.put_nowait, envelope)
+            else:
+                queue.put_nowait(envelope)
 
 
 class AsyncContext:
@@ -240,8 +284,7 @@ async def _drive_process(
         envelopes: list[Envelope] = []
         while not queue.empty():
             envelopes.append(queue.get_nowait())
-        envelopes.sort(key=lambda e: e.sender)
-        ctx.advance(envelopes)
+        ctx.advance(network.order_inbox(pid, tick_index, envelopes))
 
 
 class _AsyncByzantineApi:
@@ -312,7 +355,7 @@ async def _drive_behavior(
         envelopes: list[Envelope] = []
         while not queue.empty():
             envelopes.append(queue.get_nowait())
-        envelopes.sort(key=lambda e: e.sender)
+        envelopes = network.order_inbox(pid, tick, envelopes)
         behavior.step(_AsyncByzantineApi(network, pid, tick, envelopes))
         tick += 1
         delay = start_time + tick * network.tick_duration - loop.time()
@@ -332,6 +375,7 @@ async def run_async(
     latency: float = 0.0,
     crashed: frozenset[ProcessId] = frozenset(),
     byzantine: dict[ProcessId, Any] | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> AsyncRunResult:
     """Run one protocol instance over asyncio.
 
@@ -339,13 +383,19 @@ async def run_async(
     ``crashed`` processes never run (silent failures); ``byzantine``
     maps corrupted pids to behavior objects with the same ``step(api)``
     interface the deterministic simulator uses (minus rushing
-    visibility — real transports don't offer it).
+    visibility — real transports don't offer it); ``fault_plan``
+    deterministically drops / duplicates / delays / reorders messages
+    (see :mod:`repro.faults`).
     """
     byzantine = byzantine or {}
     loop = asyncio.get_running_loop()
     started = loop.time()
     network = AsyncNetwork(
-        config, seed=seed, tick_duration=tick_duration, latency=latency
+        config,
+        seed=seed,
+        tick_duration=tick_duration,
+        latency=latency,
+        fault_plan=fault_plan,
     )
     network.corrupted = set(crashed) | set(byzantine)
     missing = [
@@ -370,10 +420,13 @@ async def run_async(
         )
         for pid, behavior in byzantine.items()
     ]
-    results = await asyncio.gather(*tasks)
-    stop.set()
-    for task in behavior_tasks:
-        await task
+    try:
+        results = await asyncio.gather(*tasks)
+    finally:
+        stop.set()
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, *behavior_tasks, return_exceptions=True)
     return AsyncRunResult(
         config=config,
         decisions=dict(results),

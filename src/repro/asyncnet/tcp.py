@@ -7,6 +7,30 @@ pickled envelopes.  Round pacing reuses the absolute-clock driver of
 must dominate localhost RTT + serialization, which it does by orders of
 magnitude at the defaults.
 
+Transport robustness
+--------------------
+
+* **Backpressure** — every peer has a dedicated writer coroutine that
+  pulls frames off a bounded queue and ``await``s ``writer.drain()``
+  after each write, so a slow receiver throttles the sender instead of
+  growing the write buffer without bound.
+* **Reconnect** — if a connection drops mid-run (peer restart, injected
+  reset), the writer coroutine re-dials with capped exponential backoff
+  and re-sends the frame that failed; a peer that stays unreachable
+  past the retry budget is treated as a crashed machine (sends to it
+  evaporate), which is exactly how the protocols model dead hosts.
+* **Lifecycle** — :func:`run_over_tcp` bounds the whole run with a
+  timeout and tears everything down in a ``finally``: protocol tasks
+  are cancelled and reaped, peer writers and accepted connections are
+  closed *and awaited* (``wait_closed``), so repeated runs leak no
+  sockets (the test suite turns ``ResourceWarning`` into an error).
+* **Fault injection** — an optional seeded
+  :class:`~repro.faults.plan.FaultPlan` drops / duplicates / delays
+  messages at the sender, aborts chosen connections mid-run, and
+  reorders per-round inboxes; decisions depend only on
+  ``(seed, edge, tick, seq)``, so same-seed runs suffer identical
+  faults despite real-socket timing.
+
 Pickle is safe here because every endpoint is this same trusted test
 process; a production deployment would swap in a real codec — the
 protocols never see the difference, which is the point of the
@@ -18,15 +42,25 @@ from __future__ import annotations
 import asyncio
 import pickle
 import struct
-from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.asyncnet.runner import AsyncContext, AsyncNetwork, AsyncRunResult
 from repro.config import ProcessId, SystemConfig
-from repro.errors import SchedulerError
+from repro.errors import SchedulerError, TerminationViolation
+from repro.faults import FaultPlan
 from repro.runtime.envelope import Envelope
 
 _HEADER = struct.Struct(">I")
+
+RECONNECT_BASE = 0.01
+"""First reconnect delay in seconds; doubles per attempt."""
+RECONNECT_CAP = 0.25
+"""Ceiling of the exponential backoff."""
+RECONNECT_ATTEMPTS = 8
+"""Dial attempts per frame before the peer is declared dead."""
+SEND_QUEUE_LIMIT = 4096
+"""Frames a peer may have queued; beyond it the sender fails loudly
+(``asyncio.QueueFull``) instead of stalling or ballooning silently."""
 
 
 def _encode_frame(obj: object) -> bytes:
@@ -41,12 +75,112 @@ async def _read_frame(reader: asyncio.StreamReader) -> object:
     return pickle.loads(body)
 
 
-@dataclass
 class _Peer:
-    writer: asyncio.StreamWriter
+    """One outgoing connection: bounded queue, draining writer task,
+    reconnect with capped exponential backoff."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        on_reconnect: Callable[[], None] | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=SEND_QUEUE_LIMIT)
+        self.writer: asyncio.StreamWriter | None = None
+        self.dead = False
+        """Set when the retry budget is exhausted: the host is gone, so
+        further sends evaporate exactly like sends to a crashed machine."""
+        self.reconnects = 0
+        """Successful re-dials after a mid-run connection loss."""
+        self._on_reconnect = on_reconnect
+        self._pump_task: asyncio.Task | None = None
+
+    async def connect(self) -> None:
+        """Dial the peer (with backoff) and start the writer coroutine."""
+        await self._dial()
+        self._pump_task = asyncio.create_task(self._pump())
 
     def send(self, obj: object) -> None:
-        self.writer.write(_encode_frame(obj))
+        """Queue one message for transmission (non-blocking).
+
+        Raises :class:`asyncio.QueueFull` if the peer is so far behind
+        that :data:`SEND_QUEUE_LIMIT` frames are already pending.
+        """
+        if self.dead:
+            return
+        self.queue.put_nowait(_encode_frame(obj))
+
+    def inject_reset(self) -> None:
+        """Fault hook: abort the underlying transport mid-run, as if the
+        connection were reset by the network."""
+        if self.writer is not None:
+            self.writer.transport.abort()
+
+    async def close(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            await asyncio.gather(self._pump_task, return_exceptions=True)
+            self._pump_task = None
+        await self._discard_writer()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    async def _dial(self) -> None:
+        """Open the connection, retrying with capped exponential backoff."""
+        delay = RECONNECT_BASE
+        for attempt in range(RECONNECT_ATTEMPTS):
+            try:
+                _, self.writer = await asyncio.open_connection(self.host, self.port)
+                return
+            except OSError:
+                if attempt == RECONNECT_ATTEMPTS - 1:
+                    break
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, RECONNECT_CAP)
+        self.dead = True
+        raise ConnectionError(f"peer {self.host}:{self.port} unreachable")
+
+    async def _discard_writer(self) -> None:
+        writer, self.writer = self.writer, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _pump(self) -> None:
+        """Writer coroutine: drain-backed sends, reconnect on failure.
+
+        Each frame is written then ``drain``-ed, so the peer's receive
+        rate backpressures this sender.  A send that fails because the
+        connection dropped triggers a re-dial and the *same frame* is
+        re-sent — a reset must not lose correct-process messages (that
+        would be a drop fault, which only a :class:`FaultPlan` may
+        introduce deliberately).
+        """
+        while True:
+            frame = await self.queue.get()
+            while not self.dead:
+                try:
+                    if self.writer is None:
+                        await self._dial()
+                        self.reconnects += 1
+                        if self._on_reconnect is not None:
+                            self._on_reconnect()
+                    self.writer.write(frame)
+                    await self.writer.drain()
+                    break
+                except ConnectionError:
+                    await self._discard_writer()
+                except OSError:
+                    await self._discard_writer()
+            if self.dead:
+                return
 
 
 class TcpProcessNode:
@@ -62,6 +196,7 @@ class TcpProcessNode:
         self.server: asyncio.AbstractServer | None = None
         self.peers: dict[ProcessId, _Peer] = {}
         self.queue = network.queue_for(pid)
+        self._handlers: set[asyncio.Task] = set()
 
     async def start_server(self) -> int:
         self.server = await asyncio.start_server(
@@ -73,28 +208,72 @@ class TcpProcessNode:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
         try:
             while True:
                 envelope = await _read_frame(reader)
                 if isinstance(envelope, Envelope) and envelope.receiver == self.pid:
                     self.queue.put_nowait(envelope)
-        except (
-            asyncio.IncompleteReadError,
-            asyncio.CancelledError,
-            ConnectionResetError,
-        ):
-            pass
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer closed (EOF) or reset: either way this link is done
         finally:
+            if task is not None:
+                self._handlers.discard(task)
             writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
 
     async def connect_peers(self, ports: dict[ProcessId, int]) -> None:
         for peer_pid, port in ports.items():
             if peer_pid == self.pid:
                 continue
-            _, writer = await asyncio.open_connection(self.host, port)
-            self.peers[peer_pid] = _Peer(writer=writer)
+            peer = _Peer(
+                self.host,
+                port,
+                on_reconnect=self._reconnect_recorder(peer_pid),
+            )
+            await peer.connect()
+            self.peers[peer_pid] = peer
+
+    def _reconnect_recorder(self, peer_pid: ProcessId) -> Callable[[], None]:
+        def record() -> None:
+            self.network.trace.emit(
+                tick=-1,  # transport events sit outside the round clock
+                pid=self.pid,
+                scope="transport",
+                name="reconnected",
+                peer=peer_pid,
+            )
+
+        return record
 
     def transmit(self, envelope: Envelope) -> None:
+        injector = self.network.injector
+        if injector is None:
+            self._dispatch(envelope)
+            return
+        # Connection faults first: an injected reset fires on the next
+        # send over its edge, so the frame below exercises reconnect.
+        peer = self.peers.get(envelope.receiver)
+        if peer is not None and injector.take_reset(
+            self.pid, envelope.receiver, envelope.sent_at
+        ):
+            peer.inject_reset()
+        loop = asyncio.get_running_loop()
+        for delay_fraction in injector.copies(
+            self.pid, envelope.receiver, envelope.sent_at
+        ):
+            delay = delay_fraction * self.network.tick_duration
+            if delay > 0:
+                loop.call_later(delay, self._dispatch, envelope)
+            else:
+                self._dispatch(envelope)
+
+    def _dispatch(self, envelope: Envelope) -> None:
         if envelope.receiver == self.pid:
             self.queue.put_nowait(envelope)  # loopback without a socket
             return
@@ -104,12 +283,41 @@ class TcpProcessNode:
         # No connection = a crashed machine: the send evaporates, which
         # is exactly how the network treats a dead host.
 
-    async def close(self) -> None:
+    async def close_outgoing(self) -> None:
+        """Phase 1 of shutdown: close this node's outgoing connections
+        (writer tasks cancelled, writers awaited closed).  The EOFs this
+        produces let the *peers'* accepted-connection handlers finish on
+        their own."""
         for peer in self.peers.values():
-            peer.writer.close()
+            await peer.close()
+
+    async def close_incoming(self) -> None:
+        """Phase 2 of shutdown: stop listening and reap accepted
+        connections.  Once every node ran :meth:`close_outgoing`, our
+        handlers have all seen EOF — await them; cancellation is only a
+        last resort for connections that never died (it trips a noisy
+        ``asyncio.streams`` callback on 3.11, so avoid it on the normal
+        path)."""
         if self.server is not None:
             self.server.close()
             await self.server.wait_closed()
+        if self._handlers:
+            handlers = list(self._handlers)
+            _, still_open = await asyncio.wait(handlers, timeout=1.0)
+            for handler in still_open:
+                handler.cancel()
+            if still_open:
+                await asyncio.gather(*still_open, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Release every socket this node owns, awaiting each close.
+
+        For whole-cluster shutdown, call :meth:`close_outgoing` on every
+        node *before* any :meth:`close_incoming` — otherwise the first
+        node must cancel handlers whose remote writers are still open.
+        """
+        await self.close_outgoing()
+        await self.close_incoming()
 
 
 class _TcpContext(AsyncContext):
@@ -163,8 +371,7 @@ async def _drive_tcp_process(
         envelopes: list[Envelope] = []
         while not node.queue.empty():
             envelopes.append(node.queue.get_nowait())
-        envelopes.sort(key=lambda e: e.sender)
-        ctx.advance(envelopes)
+        ctx.advance(network.order_inbox(node.pid, tick_index, envelopes))
 
 
 async def run_over_tcp(
@@ -174,38 +381,67 @@ async def run_over_tcp(
     seed: int = 0,
     tick_duration: float = 0.05,
     crashed: frozenset[ProcessId] = frozenset(),
+    fault_plan: FaultPlan | None = None,
+    timeout: float | None = 120.0,
 ) -> AsyncRunResult:
     """Run one protocol instance over localhost TCP sockets.
 
     ``crashed`` processes get no node at all — their peers simply never
-    hear from them, exactly like a crashed machine.
+    hear from them, exactly like a crashed machine.  ``fault_plan``
+    injects deterministic message and connection faults (see
+    :mod:`repro.faults`); delays must stay below the synchrony bound.
+    ``timeout`` bounds the whole run in seconds (``None`` disables it);
+    on expiry every task is cancelled, every socket is closed, and
+    :class:`~repro.errors.TerminationViolation` is raised.
     """
     loop = asyncio.get_running_loop()
     started = loop.time()
-    network = AsyncNetwork(config, seed=seed, tick_duration=tick_duration)
+    network = AsyncNetwork(
+        config, seed=seed, tick_duration=tick_duration, fault_plan=fault_plan
+    )
     network.corrupted = set(crashed)
     live = [pid for pid in config.processes if pid not in crashed]
     missing = [pid for pid in live if pid not in factories]
     if missing:
         raise SchedulerError(f"processes {missing} have no protocol")
 
-    nodes = {pid: TcpProcessNode(network, pid) for pid in live}
-    ports = {pid: await node.start_server() for pid, node in nodes.items()}
-    for node in nodes.values():
-        await node.connect_peers(ports)
-
-    start_time = loop.time() + tick_duration
-    tasks = [
-        asyncio.create_task(
-            _drive_tcp_process(network, nodes[pid], factories[pid], start_time)
-        )
-        for pid in live
-    ]
+    nodes: dict[ProcessId, TcpProcessNode] = {}
+    tasks: list[asyncio.Task] = []
     try:
-        results = await asyncio.gather(*tasks)
-    finally:
+        nodes = {pid: TcpProcessNode(network, pid) for pid in live}
+        ports = {pid: await node.start_server() for pid, node in nodes.items()}
         for node in nodes.values():
-            await node.close()
+            await node.connect_peers(ports)
+
+        start_time = loop.time() + tick_duration
+        tasks = [
+            asyncio.create_task(
+                _drive_tcp_process(network, nodes[pid], factories[pid], start_time)
+            )
+            for pid in live
+        ]
+        gathered = asyncio.gather(*tasks)
+        try:
+            if timeout is not None:
+                results = await asyncio.wait_for(gathered, timeout)
+            else:
+                results = await gathered
+        except asyncio.TimeoutError:
+            raise TerminationViolation(
+                f"TCP run exceeded timeout={timeout}s before every live "
+                f"process decided"
+            ) from None
+    finally:
+        # Guaranteed teardown on every path: success, protocol error,
+        # timeout, or cancellation of this coroutine itself.
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for node in nodes.values():
+            await node.close_outgoing()
+        for node in nodes.values():
+            await node.close_incoming()
     return AsyncRunResult(
         config=config,
         decisions=dict(results),

@@ -18,12 +18,33 @@ This module centralizes every threshold the protocols rely on:
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
+
 ProcessId = int
 """Processes are identified by integers ``0 .. n-1``."""
+
+
+def derive_rng(seed: int, tag: int) -> random.Random:
+    """Derive an independent deterministic RNG stream from one run seed.
+
+    Every randomized subsystem (inbox perturbation, the fault-injection
+    layer, adversary placement) draws from its own ``seed ^ tag`` stream
+    so that all perturbations of a run are reproducible from the single
+    run seed, and adding a consumer never shifts another's stream.
+
+    >>> derive_rng(7, 0x1B0C).random() == derive_rng(7, 0x1B0C).random()
+    True
+    >>> derive_rng(7, 0x1B0C).random() == derive_rng(8, 0x1B0C).random()
+    False
+    """
+    return random.Random(seed ^ tag)
 
 
 @dataclass(frozen=True)
@@ -153,11 +174,16 @@ class RunParameters:
     max_ticks:
         Safety horizon for the simulator; a run exceeding it raises
         :class:`~repro.errors.TerminationViolation`.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected between
+        protocol sends and delivery (drops, duplicates, sub-``delta``
+        delays, inbox reordering).  ``None`` runs the pristine network.
     """
 
     seed: int = 0
     num_phases: int | None = None
     max_ticks: int = 100_000
+    fault_plan: "FaultPlan | None" = None
 
     def phases_for(self, config: SystemConfig) -> int:
         """Resolve ``num_phases`` against a concrete configuration."""

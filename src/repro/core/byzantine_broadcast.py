@@ -312,7 +312,9 @@ def run_byzantine_broadcast(
 
     byzantine = byzantine or {}
     params = params or RunParameters()
-    simulation = Simulation(config, seed=seed, max_ticks=params.max_ticks)
+    simulation = Simulation(
+        config, seed=seed, max_ticks=params.max_ticks, fault_plan=params.fault_plan
+    )
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])

@@ -733,7 +733,9 @@ def run_weak_ba(
 
     byzantine = byzantine or {}
     params = params or RunParameters()
-    simulation = Simulation(config, seed=seed, max_ticks=params.max_ticks)
+    simulation = Simulation(
+        config, seed=seed, max_ticks=params.max_ticks, fault_plan=params.fault_plan
+    )
     validity = validity_factory(simulation.suite, config)
     for pid in config.processes:
         if pid in byzantine:

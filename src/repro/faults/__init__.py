@@ -1,0 +1,16 @@
+"""Deterministic fault injection for every runtime.
+
+The paper's claim is that communication adapts to the *actual* failure
+count ``f`` of a run; this package supplies the runs.  A seeded
+:class:`~repro.faults.plan.FaultPlan` describes message drops (send
+omissions), duplicates, sub-``delta`` delays, inbox reordering, and
+connection-level faults; a per-run
+:class:`~repro.faults.injector.FaultInjector` applies it identically in
+the tick simulator, the asyncio runner, and the TCP transport.  Same
+seed, same faults — even over real sockets.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import ConnectionReset, FaultDecision, FaultPlan
+
+__all__ = ["ConnectionReset", "FaultDecision", "FaultInjector", "FaultPlan"]

@@ -1,0 +1,55 @@
+"""The stateful half of fault injection.
+
+:class:`FaultPlan` is a pure function of message coordinates; what it
+cannot know is the ``seq`` number of a send (how many messages the edge
+already carried this tick) or whether a scheduled connection reset has
+already fired.  :class:`FaultInjector` owns exactly that state, one
+instance per run, so a plan object can be shared — and reused across
+runtimes — without cross-run contamination.
+"""
+
+from __future__ import annotations
+
+from repro.config import ProcessId
+from repro.faults.plan import ConnectionReset, FaultDecision, FaultPlan
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one run."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._seq: dict[tuple[ProcessId, ProcessId, int], int] = {}
+        self._fired: set[ConnectionReset] = set()
+
+    def decide(
+        self, sender: ProcessId, receiver: ProcessId, tick: int
+    ) -> FaultDecision:
+        """Stamp the next send on this edge/tick and decide its fate."""
+        key = (sender, receiver, tick)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        return self.plan.decide(sender, receiver, tick, seq)
+
+    def copies(self, sender: ProcessId, receiver: ProcessId, tick: int) -> list[float]:
+        """Delays (fractions of the synchrony bound) for each delivered
+        copy of the next send on this edge; empty list = dropped."""
+        return self.decide(sender, receiver, tick).copies()
+
+    def take_reset(self, sender: ProcessId, receiver: ProcessId, tick: int) -> bool:
+        """Whether a scheduled connection reset should fire now.
+
+        A reset fires on the first send over its edge at or after its
+        tick, exactly once — the transport is expected to *survive* it,
+        so firing it repeatedly would only test the same path again.
+        """
+        for reset in self.plan.resets:
+            if (
+                reset not in self._fired
+                and reset.sender == sender
+                and reset.receiver == receiver
+                and tick >= reset.tick
+            ):
+                self._fired.add(reset)
+                return True
+        return False

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-from repro.config import ProcessId, SystemConfig
+from repro.config import ProcessId, SystemConfig, derive_rng
 from repro.crypto.certificates import CryptoSuite
 from repro.errors import SchedulerError, TerminationViolation
+from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.words import WordLedger
 from repro.runtime.byzantine import ByzantineApi, ByzantineBehavior
 from repro.runtime.context import ProcessContext
@@ -46,12 +47,20 @@ class Simulation:
         max_ticks: int = 100_000,
         record_envelopes: bool = False,
         inbox_order: str = "sender",
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         """``inbox_order``: ``"sender"`` (default) delivers each tick's
         inbox sorted by sender id; ``"random"`` applies a seeded shuffle
         instead — the synchronous model allows any within-``delta``
         ordering, so protocols must not depend on it (stress knob for
-        tests)."""
+        tests).
+
+        ``fault_plan``: a seeded :class:`~repro.faults.plan.FaultPlan`
+        applied to every send (drops, duplicates, sub-``delta`` delays,
+        inbox reordering).  It generalizes ``inbox_order`` and takes
+        precedence over it when given; sub-``delta`` delays manifest as
+        inbox position, the only observable a bounded delay has in the
+        tick world."""
         self.config = config
         self.seed = seed
         self.suite = suite if suite is not None else CryptoSuite(config, seed=seed)
@@ -67,14 +76,17 @@ class Simulation:
                 f"inbox_order must be 'sender' or 'random', got {inbox_order!r}"
             )
         self.inbox_order = inbox_order
-        import random as _random
-
-        self._inbox_rng = _random.Random(seed ^ 0x1B0C)
+        self._inbox_rng = derive_rng(seed, 0x1B0C)
+        self.fault_plan = fault_plan
+        self._injector = FaultInjector(fault_plan) if fault_plan is not None else None
         self.tick = 0
         self._factories: dict[ProcessId, ProtocolFactory] = {}
         self._behaviors: dict[ProcessId, ByzantineBehavior] = {}
         self._scheduled_corruptions: dict[int, list[tuple[ProcessId, ByzantineBehavior]]] = {}
-        self._due: dict[int, list[Envelope]] = {}
+        self._due: dict[int, list[tuple[float, Envelope]]] = {}
+        """Pending deliveries per tick as ``(sub-delta delay, envelope)``
+        pairs; the delay (a fraction of ``delta``) only influences inbox
+        position, never the delivery tick."""
         self._seq = 0
         self._started = False
         self.corrupted_now: set[ProcessId] = set()
@@ -154,7 +166,12 @@ class Simulation:
             scope=scope,
             sender_correct=sender_correct,
         )
-        self._due.setdefault(self.tick + 1, []).append(envelope)
+        if self._injector is None:
+            copies = [0.0]
+        else:  # the ledger bills the *send*; faults act on the wire
+            copies = self._injector.copies(sender, to, self.tick)
+        for delay in copies:
+            self._due.setdefault(self.tick + 1, []).append((delay, envelope))
         if self.record_envelopes:
             self.envelopes.append(envelope)
         self._seq += 1
@@ -204,14 +221,26 @@ class Simulation:
                     )
 
             deliveries = self._due.pop(self.tick, [])
+            pending: dict[ProcessId, list[tuple[float, Envelope]]] = {}
+            for delay, envelope in deliveries:
+                pending.setdefault(envelope.receiver, []).append((delay, envelope))
             inboxes: dict[ProcessId, list[Envelope]] = {}
-            for envelope in deliveries:
-                inboxes.setdefault(envelope.receiver, []).append(envelope)
-            for inbox in inboxes.values():
-                if self.inbox_order == "random":
+            for pid, entries in pending.items():
+                if self._injector is not None:
+                    # Delayed copies land later in the inbox; the plan's
+                    # seeded reorder may then scramble the whole round.
+                    entries.sort(key=lambda de: (de[0], de[1].sender))
+                    inboxes[pid] = self._injector.plan.maybe_shuffle(
+                        pid, self.tick, [e for _, e in entries]
+                    )
+                elif self.inbox_order == "random":
+                    inbox = [e for _, e in entries]
                     self._inbox_rng.shuffle(inbox)
+                    inboxes[pid] = inbox
                 else:
-                    inbox.sort(key=lambda e: e.sender)
+                    inboxes[pid] = [
+                        e for _, e in sorted(entries, key=lambda de: de[1].sender)
+                    ]
 
             for pid in sorted(generators):
                 ctx = contexts[pid]
@@ -225,7 +254,7 @@ class Simulation:
                     del contexts[pid]
 
             if generators:  # adversary acts only while the run is live
-                rushing = self._due.get(self.tick + 1, [])
+                rushing = [e for _, e in self._due.get(self.tick + 1, [])]
                 for pid in sorted(self._behaviors):
                     api = ByzantineApi(
                         simulation=self,

@@ -51,6 +51,23 @@ class Trace:
             )
         )
 
+    def canonical(self) -> tuple[TraceEvent, ...]:
+        """The events in a runtime-independent order.
+
+        Within one tick the model imposes no order on different
+        processes' events; the simulator happens to run pids in order,
+        while the asyncio/TCP drivers interleave them arbitrarily.
+        Comparing ``canonical()`` views asks exactly what determinism
+        promises: the *same events at the same ticks*, nothing about
+        scheduler interleaving.
+        """
+        return tuple(
+            sorted(
+                self.events,
+                key=lambda e: (e.tick, e.pid, e.scope, e.name, repr(e.data)),
+            )
+        )
+
     def named(self, name: str) -> Iterator[TraceEvent]:
         return (e for e in self.events if e.name == name)
 

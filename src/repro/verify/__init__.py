@@ -12,6 +12,7 @@ from repro.verify.checker import (
     adaptive_word_budget,
     quadratic_word_budget,
     verify_run,
+    verify_under_plan,
 )
 from repro.verify.forensics import ForensicsReport, audit_envelopes
 from repro.verify.problems import (
@@ -22,6 +23,7 @@ from repro.verify.problems import (
 
 __all__ = [
     "verify_run",
+    "verify_under_plan",
     "Report",
     "Violation",
     "adaptive_word_budget",

@@ -21,10 +21,13 @@ the paper's theorems promise and report violations as data:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.values import BOTTOM, UNDECIDED
 from repro.runtime.result import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 DECISION_EVENTS = (
     "decided",
@@ -81,6 +84,36 @@ def quadratic_word_budget(constant: float = 30.0) -> Callable[[RunResult], float
         return constant * result.config.n**2
 
     return budget
+
+
+def verify_under_plan(
+    result: RunResult,
+    plan: "FaultPlan",
+    *,
+    word_constant: float = 30.0,
+    **kwargs: Any,
+) -> Report:
+    """Audit a run that executed under a fault-injection plan.
+
+    Same checklist as :func:`verify_run`, with the word budget adjusted
+    for the plan's fault model: omission-faulty senders (``plan.faulty``)
+    are indistinguishable from intermittently silent corrupted processes,
+    so they count toward the effective failure number ``f`` in the
+    paper's ``O(n(f+1))`` budget.  Duplication, bounded delay, inbox
+    reordering, and connection resets are *model-legal* perturbations —
+    the synchronous network was always allowed to do that — so they
+    tighten nothing: every safety property must hold verbatim.
+
+    Accepts both the simulator's :class:`RunResult` and the transports'
+    :class:`~repro.asyncnet.runner.AsyncRunResult` (same surface).
+    """
+    effective_f = len(frozenset(result.corrupted) | plan.faulty)
+
+    def budget(r: RunResult) -> float:
+        return word_constant * r.config.n * (effective_f + 1)
+
+    kwargs.setdefault("word_budget", budget)
+    return verify_run(result, **kwargs)
 
 
 def verify_run(
