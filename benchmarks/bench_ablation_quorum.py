@@ -96,7 +96,6 @@ def test_full_quorum_sacrifices_adaptivity(benchmark):
     process blocks every certificate, forcing the quadratic fallback —
     the paper's choice is the unique sweet spot."""
     from repro.adversary.behaviors import SilentBehavior
-    from repro.core.weak_ba import run_weak_ba
 
     config = SystemConfig.with_optimal_resilience(7)
     validity = lambda suite, cfg: ExternalValidity(lambda v: isinstance(v, str))

@@ -6,9 +6,13 @@ Usage (installed as a module entry point):
     python -m repro run weak-ba --n 9 --f 2 --adversary silent
     python -m repro run strong-ba --n 7 --f 1 --seed 3
     python -m repro run dolev-strong --n 7
+    python -m repro run bb --n 7 --drop-rate 0.2 --lossy-senders 2 3
     python -m repro sweep bb --ns 5 9 13 --max-f 2
     python -m repro flows --n 5 --f 0
     python -m repro table1
+    python -m repro mc explore --adversary choose-silent --max-ticks 12
+    python -m repro mc mutants
+    python -m repro mc replay counterexample.json
 
 Every command prints the decision(s), the paper's complexity measures,
 and — where applicable — the per-layer word attribution.
@@ -23,9 +27,7 @@ from typing import Sequence
 from repro.adversary.behaviors import GarbageSpammer, SilentBehavior
 from repro.adversary.protocol_attacks import WeakBaTeasingLeader
 from repro.adversary.strategies import (
-    CrashStrategy,
     SilentStrategy,
-    StaticStrategy,
 )
 from repro.analysis.fitting import fit_slope_vs
 from repro.analysis.sweeps import (
@@ -36,7 +38,7 @@ from repro.analysis.sweeps import (
     sweep_weak_ba,
 )
 from repro.analysis.tables import format_table, render_points
-from repro.config import SystemConfig
+from repro.config import RunParameters, SystemConfig
 from repro.core.byzantine_broadcast import run_byzantine_broadcast
 from repro.core.strong_ba import run_strong_ba
 from repro.core.validity import ExternalValidity
@@ -87,14 +89,38 @@ def _report(result, label: str) -> None:
             print(f"    {scope:<24} {words} words")
 
 
+def _fault_plan(args: argparse.Namespace):
+    """Build the CLI's FaultPlan from ``--drop-rate``/``--lossy-senders``
+    (``None`` when no fault flag is set)."""
+    if not args.drop_rate and not args.lossy_senders:
+        return None
+    from repro.faults.plan import FaultPlan
+
+    return FaultPlan(
+        seed=args.fault_seed,
+        drop_rate=args.drop_rate,
+        lossy=frozenset(args.lossy_senders or ()),
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = SystemConfig.with_optimal_resilience(args.n)
     avoid = frozenset({0}) if args.protocol in ("bb", "dolev-strong") else frozenset()
     byzantine = _byzantine_map(config, args.f, args.adversary, args.seed, avoid)
+    plan = _fault_plan(args)
+    if plan is not None and plan.faulty:
+        effective = len(frozenset(byzantine) | plan.faulty)
+        if effective > config.t:
+            raise SystemExit(
+                f"corrupted ({sorted(byzantine)}) plus lossy senders "
+                f"({sorted(plan.faulty)}) exceed t={config.t}: no property "
+                "can be promised; reduce --f or --lossy-senders"
+            )
+    params = RunParameters(seed=args.seed, fault_plan=plan)
     if args.protocol == "bb":
         result = run_byzantine_broadcast(
             config, sender=0, value=args.value, byzantine=byzantine,
-            seed=args.seed,
+            seed=args.seed, params=params,
         )
     elif args.protocol == "weak-ba":
         validity = lambda suite, cfg: ExternalValidity(
@@ -104,14 +130,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             p: args.value for p in config.processes if p not in byzantine
         }
         result = run_weak_ba(
-            config, inputs, validity, byzantine=byzantine, seed=args.seed
+            config, inputs, validity, byzantine=byzantine, seed=args.seed,
+            params=params,
         )
     elif args.protocol == "strong-ba":
         inputs = {
             p: args.bit for p in config.processes if p not in byzantine
         }
         result = run_strong_ba(
-            config, inputs, byzantine=byzantine, seed=args.seed
+            config, inputs, byzantine=byzantine, seed=args.seed, params=params
         )
     elif args.protocol == "adaptive-strong-ba":
         from repro.core.adaptive_strong_ba import run_adaptive_strong_ba
@@ -120,23 +147,38 @@ def cmd_run(args: argparse.Namespace) -> int:
             p: args.value for p in config.processes if p not in byzantine
         }
         result = run_adaptive_strong_ba(
-            config, inputs, byzantine=byzantine, seed=args.seed
+            config, inputs, byzantine=byzantine, seed=args.seed, params=params
         )
     elif args.protocol == "fallback":
         inputs = {
             p: args.value for p in config.processes if p not in byzantine
         }
         result = run_fallback_ba(
-            config, inputs, byzantine=byzantine, seed=args.seed
+            config, inputs, byzantine=byzantine, seed=args.seed, params=params
         )
     elif args.protocol == "dolev-strong":
         result = run_dolev_strong(
             config, sender=0, value=args.value, byzantine=byzantine,
-            seed=args.seed,
+            seed=args.seed, params=params,
         )
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown protocol {args.protocol}")
     _report(result, f"{args.protocol} (n={config.n}, t={config.t})")
+    if plan is not None:
+        from repro.verify.checker import verify_under_plan
+
+        effective_f = len(frozenset(result.corrupted) | plan.faulty)
+        print(
+            f"  fault plan: seed={plan.seed}, drop_rate={plan.drop_rate}, "
+            f"lossy={sorted(plan.faulty) or '(all edges)'}"
+        )
+        print(
+            f"  effective f (corrupted + omission senders): {effective_f}"
+        )
+        report = verify_under_plan(result, plan)
+        print(f"  verdict under plan: {report.summary()}")
+        if not report.ok:
+            return 1
     if getattr(args, "export", None):
         from repro.analysis.export import save_run
 
@@ -215,6 +257,94 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_mc_explore(args: argparse.Namespace) -> int:
+    from repro import mc
+
+    scenario = mc.make_scenario(
+        args.scenario,
+        n=args.n,
+        num_phases=args.phases,
+        adversary=args.adversary,
+        max_ticks=args.max_ticks,
+        perm_cap=args.perm_cap,
+    )
+    print(f"scenario: {scenario.description}")
+    if args.mode == "exhaustive":
+        result = mc.explore_exhaustive(
+            scenario,
+            max_runs=args.max_runs,
+            prune=None if args.prune == "none" else args.prune,
+        )
+    else:
+        result = mc.explore_random(
+            scenario, runs=args.max_runs, seed=args.walk_seed,
+            stop_at_first=False,
+        )
+    stats = result.stats
+    print(
+        f"schedules: {stats.runs} run ({stats.terminal} terminal, "
+        f"{stats.pruned} pruned, {stats.truncated} truncated at the "
+        f"horizon); distinct states: {stats.distinct_states}; "
+        f"max decisions: {stats.max_depth}"
+    )
+    if args.mode == "exhaustive":
+        if result.complete:
+            print(
+                "space exhausted: properties PROVED over the bounded "
+                "schedule space"
+                if result.ok
+                else "space exhausted: counterexamples found"
+            )
+        else:
+            print(f"budget hit ({args.max_runs} runs): NOT a proof")
+    for counterexample in result.counterexamples:
+        print(f"\ncounterexample {list(counterexample.decisions)}:")
+        print(f"  {counterexample.summary}")
+    if result.counterexamples and args.replay_out:
+        shrunk = mc.shrink(scenario, result.counterexamples[0])
+        artifact = mc.replay_artifact(scenario, shrunk.decisions)
+        path = mc.save_replay(args.replay_out, artifact)
+        print(
+            f"\nshrunk {len(shrunk.original)} -> {len(shrunk.decisions)} "
+            f"decisions; replay artifact written to {path}"
+        )
+    return 0 if result.ok else 1
+
+
+def cmd_mc_mutants(args: argparse.Namespace) -> int:
+    from repro import mc
+
+    names = args.names or sorted(mc.MUTANTS)
+    failures = 0
+    for name in names:
+        try:
+            kill = mc.kill_mutant(name, out_dir=args.out_dir)
+        except Exception as exc:  # surviving mutant = checker bug
+            failures += 1
+            print(f"mutant {name}: NOT KILLED -> {exc}")
+        else:
+            print(kill.summary())
+        print()
+    return 1 if failures else 0
+
+
+def cmd_mc_replay(args: argparse.Namespace) -> int:
+    from repro.mc.shrink import load_replay, replay
+
+    artifact = load_replay(args.artifact)
+    print(
+        f"replaying {artifact['scenario']} with decisions "
+        f"{artifact['decisions']}"
+    )
+    outcome = replay(artifact)
+    print("recorded violations reproduced deterministically:")
+    for violation in outcome.report.violations:
+        print(f"  [{violation.kind}] {violation.detail}")
+    if not outcome.report.violations:
+        print("  (none — the artifact records a clean run)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -247,6 +377,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--export", default=None, metavar="PATH",
         help="write the full run (ledger + trace) to a JSON file",
     )
+    run_parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan's per-message decisions",
+    )
+    run_parser.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="probability a message from a lossy sender is dropped "
+        "(send-omission faults; counts toward the effective f)",
+    )
+    run_parser.add_argument(
+        "--lossy-senders", type=int, nargs="+", default=None, metavar="PID",
+        help="senders whose messages may be dropped; omit to make every "
+        "edge lossy (exceeds the paper's model)",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     sweep_parser = sub.add_parser("sweep", help="sweep (n, f) and fit slopes")
@@ -269,6 +413,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table_parser.add_argument("--ns", type=int, nargs="+", default=[5, 9, 13, 17])
     table_parser.set_defaults(func=cmd_table1)
+
+    mc_parser = sub.add_parser(
+        "mc", help="schedule-space model checking (explore/mutants/replay)"
+    )
+    mc_sub = mc_parser.add_subparsers(dest="mc_command", required=True)
+
+    explore_parser = mc_sub.add_parser(
+        "explore", help="explore a scenario's bounded schedule space"
+    )
+    explore_parser.add_argument(
+        "--scenario", default="weak-ba", help="scenario registry name"
+    )
+    explore_parser.add_argument("--n", type=int, default=4)
+    explore_parser.add_argument("--phases", type=int, default=1)
+    explore_parser.add_argument(
+        "--adversary", default="choose-silent",
+        help="adversary mode of the scenario (see repro.mc.scenario)",
+    )
+    explore_parser.add_argument("--max-ticks", type=int, default=12)
+    explore_parser.add_argument(
+        "--perm-cap", type=int, default=6,
+        help="inbox orderings offered per choice point (bounds the space; "
+        "6 explores the full n=4 space in ~5 minutes, 2-3 in seconds)",
+    )
+    explore_parser.add_argument(
+        "--mode", choices=["exhaustive", "random"], default="exhaustive"
+    )
+    explore_parser.add_argument(
+        "--max-runs", type=int, default=100_000,
+        help="exhaustive budget / number of random walks",
+    )
+    explore_parser.add_argument(
+        "--prune", choices=["behavior", "history", "none"], default="behavior"
+    )
+    explore_parser.add_argument("--walk-seed", type=int, default=0)
+    explore_parser.add_argument(
+        "--replay-out", default=None, metavar="PATH",
+        help="shrink the first counterexample and write its replay artifact",
+    )
+    explore_parser.set_defaults(func=cmd_mc_explore)
+
+    mutants_parser = mc_sub.add_parser(
+        "mutants", help="kill the protocol mutants, artifact per kill"
+    )
+    mutants_parser.add_argument(
+        "names", nargs="*", metavar="MUTANT",
+        help="mutants to kill (default: all)",
+    )
+    mutants_parser.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="write a replay artifact per kill into this directory",
+    )
+    mutants_parser.set_defaults(func=cmd_mc_mutants)
+
+    replay_parser = mc_sub.add_parser(
+        "replay", help="re-execute a replay artifact and verify it"
+    )
+    replay_parser.add_argument("artifact", metavar="PATH")
+    replay_parser.set_defaults(func=cmd_mc_replay)
 
     report_parser = sub.add_parser(
         "report", help="run the condensed claim battery, emit markdown"

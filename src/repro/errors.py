@@ -64,6 +64,11 @@ class DeadlockError(RuntimeSimulationError):
     """No process can make progress but not all protocols terminated."""
 
 
+class ModelCheckError(ReproError):
+    """The model checker was driven incorrectly (invalid decision space,
+    out-of-range scripted decision, replay divergence)."""
+
+
 class AgreementViolation(ReproError):
     """Two correct processes decided different values (test/verifier use)."""
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator
 
-from repro.config import ProcessId, SystemConfig
+from repro.config import ProcessId, RunParameters, SystemConfig
 from repro.core.values import BOTTOM
 from repro.crypto.keys import KeyRegistry, Signer
 from repro.crypto.signatures import Signature
@@ -129,12 +129,16 @@ def run_dolev_strong(
     *,
     seed: int = 0,
     byzantine: dict[ProcessId, Any] | None = None,
+    params: RunParameters | None = None,
 ):
     """Standalone driver for the baseline; returns the run result."""
     from repro.runtime.scheduler import Simulation
 
     byzantine = byzantine or {}
-    simulation = Simulation(config, seed=seed)
+    params = params or RunParameters()
+    simulation = Simulation(
+        config, seed=seed, max_ticks=params.max_ticks, fault_plan=params.fault_plan
+    )
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])

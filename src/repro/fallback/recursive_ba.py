@@ -51,7 +51,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Generator
 
-from repro.config import ProcessId, SystemConfig
+from repro.config import ProcessId, RunParameters, SystemConfig
 from repro.runtime.context import ProcessContext
 from repro.runtime.envelope import Envelope
 from repro.runtime.pool import MessagePool
@@ -245,6 +245,7 @@ def run_fallback_ba(
     seed: int = 0,
     byzantine: dict[ProcessId, Any] | None = None,
     round_ticks: int = 1,
+    params: RunParameters | None = None,
 ):
     """Standalone driver: run ``Afallback`` alone over the simulator.
 
@@ -255,7 +256,10 @@ def run_fallback_ba(
     from repro.runtime.scheduler import Simulation
 
     byzantine = byzantine or {}
-    simulation = Simulation(config, seed=seed)
+    params = params or RunParameters()
+    simulation = Simulation(
+        config, seed=seed, max_ticks=params.max_ticks, fault_plan=params.fault_plan
+    )
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])

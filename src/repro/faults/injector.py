@@ -6,35 +6,76 @@ already carried this tick) or whether a scheduled connection reset has
 already fired.  :class:`FaultInjector` owns exactly that state, one
 instance per run, so a plan object can be shared — and reused across
 runtimes — without cross-run contamination.
+
+Per-message verdicts come from one of two pluggable backends:
+
+* a :class:`FaultPlan` — the seeded, rate-based description (the
+  default everywhere);
+* a :class:`~repro.mc.choices.ChoiceSource` — the model checker's
+  decision stream, which enumerates or replays each drop/duplicate/
+  delay verdict instead of sampling it.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.config import ProcessId
 from repro.faults.plan import ConnectionReset, FaultDecision, FaultPlan
 
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle via repro.mc
+    from repro.mc.choices import ChoiceSource
+
 
 class FaultInjector:
-    """Applies one :class:`FaultPlan` to one run."""
+    """Applies one fault backend (plan or choice source) to one run."""
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(
+        self,
+        plan: FaultPlan | None,
+        *,
+        choices: "ChoiceSource | None" = None,
+    ) -> None:
+        if (plan is None) == (choices is None):
+            raise ValueError("exactly one of plan/choices must be given")
         self.plan = plan
+        self.choices = choices
         self._seq: dict[tuple[ProcessId, ProcessId, int], int] = {}
         self._fired: set[ConnectionReset] = set()
 
     def decide(
-        self, sender: ProcessId, receiver: ProcessId, tick: int
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        tick: int,
+        *,
+        payload: object = None,
     ) -> FaultDecision:
-        """Stamp the next send on this edge/tick and decide its fate."""
+        """Stamp the next send on this edge/tick and decide its fate.
+
+        ``payload`` is consulted only by choice-source backends (whose
+        spaces may scope drops to a payload type); plans ignore it.
+        """
         key = (sender, receiver, tick)
         seq = self._seq.get(key, 0)
         self._seq[key] = seq + 1
+        if self.choices is not None:
+            return self.choices.fault_decision(
+                sender, receiver, tick, seq, payload=payload
+            )
         return self.plan.decide(sender, receiver, tick, seq)
 
-    def copies(self, sender: ProcessId, receiver: ProcessId, tick: int) -> list[float]:
+    def copies(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        tick: int,
+        *,
+        payload: object = None,
+    ) -> list[float]:
         """Delays (fractions of the synchrony bound) for each delivered
         copy of the next send on this edge; empty list = dropped."""
-        return self.decide(sender, receiver, tick).copies()
+        return self.decide(sender, receiver, tick, payload=payload).copies()
 
     def take_reset(self, sender: ProcessId, receiver: ProcessId, tick: int) -> bool:
         """Whether a scheduled connection reset should fire now.
@@ -43,6 +84,8 @@ class FaultInjector:
         tick, exactly once — the transport is expected to *survive* it,
         so firing it repeatedly would only test the same path again.
         """
+        if self.plan is None:
+            return False  # choice-source backends model no connection faults
         for reset in self.plan.resets:
             if (
                 reset not in self._fired

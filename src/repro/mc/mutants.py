@@ -1,0 +1,240 @@
+"""Mutation testing: does the checker actually check anything?
+
+A model checker that reports "no violations" is only as credible as its
+ability to *find* violations when the protocol is wrong.  Each mutant
+here re-introduces a bug the paper's design rules out, paired with the
+lemma that rules it out:
+
+``quorum-off-by-one``
+    Commit quorum ``⌈(n+t+1)/2⌉ - 1`` (= ``t+1`` at ``n = 2t+1``) —
+    discards quorum intersection in a correct process (Section 6's
+    first key observation, the load-bearing fact behind Lemma 15's
+    unique finalize certificate).  Killed by an **agreement** violation
+    under the equivocating-leader attack.
+``fallback-echo-skipped``
+    A correct process no longer re-broadcasts the first fallback
+    certificate it receives — discards Lemmas 17/18 ("whenever one
+    correct process runs the fallback algorithm, all of them do").
+    Killed by a **fallback-sync** violation under Section 6's
+    certificate-dealing attack (agreement survives in the halting
+    simulation — see ``benchmarks/bench_ablation_fallback_sync.py`` —
+    which is exactly why the checker carries a dedicated predicate).
+``non-silent-leaders``
+    A decided leader re-proposes in its phase anyway — discards the
+    adaptivity mechanism behind ``O(n(f+1))`` (Algorithm 4 line 31,
+    Lemma 9's accounting).  Killed by an **adaptive-silence**
+    violation.
+
+For each mutant, :func:`kill_mutant` explores the mutated scenario to a
+first counterexample, shrinks it, builds the JSON replay artifact, and
+re-verifies the artifact reproduces the violation — then explores the
+*unmutated* twin of the same scenario exhaustively to confirm the kill
+is the mutation's doing, not the scenario's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ModelCheckError
+from repro.mc.explore import (
+    Counterexample,
+    ExplorationResult,
+    explore_exhaustive,
+)
+from repro.mc.scenario import Scenario, make_scenario
+from repro.mc.shrink import ShrinkResult, replay, replay_artifact, save_replay, shrink
+
+
+@dataclass(frozen=True)
+class MutantSpec:
+    """One protocol mutation plus the scenario that kills it."""
+
+    name: str
+    description: str
+    lemma: str
+    """The paper lemma/section the mutation discards."""
+    expected_kinds: frozenset[str]
+    """Violation kinds the kill must include."""
+    mutated: dict[str, Any] = field(default_factory=dict)
+    baseline: dict[str, Any] = field(default_factory=dict)
+    """Scenario params with / without the mutation (same attack)."""
+    max_runs: int = 5_000
+
+
+def _cert_dealer_params(**overrides: Any) -> dict[str, Any]:
+    params: dict[str, Any] = dict(
+        n=7,
+        num_phases=7,
+        adversary="cert-dealer",
+        max_ticks=200,
+        reorder=False,
+        word_constant=120.0,  # the fallback's quadratic spend is legal here
+    )
+    params.update(overrides)
+    return params
+
+
+MUTANTS: dict[str, MutantSpec] = {
+    "quorum-off-by-one": MutantSpec(
+        name="quorum-off-by-one",
+        description="commit quorum ceil((n+t+1)/2) - 1: no correct-process "
+        "intersection between quorums",
+        lemma="Section 6 first key observation; Lemma 15 (unique finalize "
+        "certificate)",
+        expected_kinds=frozenset({"agreement"}),
+        mutated=dict(
+            n=4,
+            num_phases=1,
+            adversary="equivocating-leader",
+            max_ticks=24,
+            reorder=False,
+            quorum_delta=-1,
+        ),
+        baseline=dict(
+            n=4,
+            num_phases=1,
+            adversary="equivocating-leader",
+            max_ticks=24,
+            reorder=False,
+        ),
+    ),
+    "fallback-echo-skipped": MutantSpec(
+        name="fallback-echo-skipped",
+        description="fallback certificates are not re-broadcast: the "
+        "adversary can start the fallback at a single victim",
+        lemma="Lemmas 17/18 (synchronized fallback entry within delta)",
+        expected_kinds=frozenset({"fallback-sync"}),
+        mutated=_cert_dealer_params(echo_fallback=False),
+        baseline=_cert_dealer_params(),
+    ),
+    "non-silent-leaders": MutantSpec(
+        name="non-silent-leaders",
+        description="a decided leader re-proposes in its phase anyway",
+        lemma="Algorithm 4 line 31; Lemma 9 (silent phases make the word "
+        "count adaptive)",
+        expected_kinds=frozenset({"adaptive-silence"}),
+        mutated=dict(
+            n=4,
+            num_phases=2,
+            adversary="none",
+            max_ticks=40,
+            reorder=False,
+            chatty_leaders=True,
+        ),
+        baseline=dict(
+            n=4,
+            num_phases=2,
+            adversary="none",
+            max_ticks=40,
+            reorder=False,
+        ),
+    ),
+}
+
+
+@dataclass
+class MutantKill:
+    """The full evidence that one mutant is dead."""
+
+    spec: MutantSpec
+    counterexample: Counterexample
+    shrunk: ShrinkResult
+    artifact: dict[str, Any]
+    artifact_path: Path | None
+    exploration: ExplorationResult
+    baseline: ExplorationResult | None
+    """Exhaustive run of the unmutated twin (``None`` if skipped); a
+    valid kill requires it clean and complete."""
+
+    def summary(self) -> str:
+        lines = [
+            f"mutant {self.spec.name}: KILLED "
+            f"({', '.join(self.counterexample.kinds)})",
+            f"  discards: {self.spec.lemma}",
+            f"  found after {self.exploration.stats.runs} schedule(s); "
+            f"shrunk {len(self.shrunk.original)} -> "
+            f"{len(self.shrunk.decisions)} decisions "
+            f"in {self.shrunk.tests} test run(s)",
+            f"  replay decisions: {list(self.shrunk.decisions)}",
+        ]
+        if self.baseline is not None:
+            lines.append(
+                f"  unmutated twin: {self.baseline.stats.terminal} "
+                f"schedule(s) explored exhaustively, "
+                f"{self.baseline.stats.violations} violation(s)"
+            )
+        if self.artifact_path is not None:
+            lines.append(f"  artifact: {self.artifact_path}")
+        return "\n".join(lines)
+
+
+def kill_mutant(
+    name: str,
+    *,
+    check_baseline: bool = True,
+    out_dir: str | Path | None = None,
+) -> MutantKill:
+    """Kill one mutant end to end (see the module docstring).
+
+    Raises :class:`~repro.errors.ModelCheckError` if the mutant
+    survives exploration, the counterexample misses the expected
+    violation kinds, or the unmutated twin is not clean.
+    """
+    spec = MUTANTS.get(name)
+    if spec is None:
+        raise ModelCheckError(f"unknown mutant {name!r}; known: {sorted(MUTANTS)}")
+
+    mutated = make_scenario("weak-ba", **spec.mutated)
+    exploration = explore_exhaustive(
+        mutated, max_runs=spec.max_runs, stop_at_first=True
+    )
+    if not exploration.counterexamples:
+        raise ModelCheckError(
+            f"mutant {name} SURVIVED {exploration.stats.runs} schedule(s)"
+        )
+    counterexample = exploration.counterexamples[0]
+    missing = spec.expected_kinds - set(counterexample.kinds)
+    if missing:
+        raise ModelCheckError(
+            f"mutant {name} died of {counterexample.kinds}, expected kinds "
+            f"{sorted(spec.expected_kinds)} (missing {sorted(missing)})"
+        )
+
+    shrunk = shrink(mutated, counterexample)
+    artifact = replay_artifact(mutated, shrunk.decisions)
+    replay(artifact)  # must reproduce deterministically, or raises
+
+    artifact_path: Path | None = None
+    if out_dir is not None:
+        artifact_path = save_replay(
+            Path(out_dir) / f"mutant-{name}.replay.json", artifact
+        )
+
+    baseline: ExplorationResult | None = None
+    if check_baseline:
+        baseline = explore_exhaustive(
+            make_scenario("weak-ba", **spec.baseline), max_runs=spec.max_runs
+        )
+        if baseline.counterexamples:
+            raise ModelCheckError(
+                f"unmutated twin of {name} has violations of its own: "
+                f"{baseline.counterexamples[0].summary}"
+            )
+        if not baseline.complete:
+            raise ModelCheckError(
+                f"unmutated twin of {name} not explored exhaustively "
+                f"within {spec.max_runs} runs"
+            )
+
+    return MutantKill(
+        spec=spec,
+        counterexample=counterexample,
+        shrunk=shrunk,
+        artifact=artifact,
+        artifact_path=artifact_path,
+        exploration=exploration,
+        baseline=baseline,
+    )

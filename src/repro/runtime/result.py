@@ -30,6 +30,12 @@ class RunResult:
     """Raw sent envelopes (populated when the simulation was created
     with ``record_envelopes=True``)."""
 
+    truncated: bool = False
+    """The run was stopped at the ``max_ticks`` horizon instead of
+    terminating (``stop_on_horizon=True``, bounded model checking).
+    Safety properties are meaningful on a truncated result; termination
+    is not."""
+
     # ------------------------------------------------------------------
     # Convenience accessors used throughout tests and benchmarks
     # ------------------------------------------------------------------

@@ -18,7 +18,7 @@ generators' return values are the decisions.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
 from repro.config import ProcessId, SystemConfig, derive_rng
 from repro.crypto.certificates import CryptoSuite
@@ -31,8 +31,17 @@ from repro.runtime.envelope import Envelope
 from repro.runtime.result import RunResult
 from repro.runtime.trace import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle via repro.mc
+    from repro.mc.choices import ChoiceSource
+
 ProtocolFactory = Callable[[ProcessContext], Generator[None, None, Any]]
 """A correct process: ``factory(ctx)`` returns the protocol generator."""
+
+TickHook = Callable[["Simulation", dict[ProcessId, list[Envelope]]], None]
+"""Model-checker instrumentation: called once per tick, after inboxes
+are assembled and before any process is resumed, with the simulation
+and this tick's inbox map.  Raising aborts the run (the explorer's
+state-fingerprint pruning does exactly that)."""
 
 
 class Simulation:
@@ -48,6 +57,8 @@ class Simulation:
         record_envelopes: bool = False,
         inbox_order: str = "sender",
         fault_plan: FaultPlan | None = None,
+        choices: "ChoiceSource | None" = None,
+        stop_on_horizon: bool = False,
     ) -> None:
         """``inbox_order``: ``"sender"`` (default) delivers each tick's
         inbox sorted by sender id; ``"random"`` applies a seeded shuffle
@@ -60,7 +71,27 @@ class Simulation:
         inbox reordering).  It generalizes ``inbox_order`` and takes
         precedence over it when given; sub-``delta`` delays manifest as
         inbox position, the only observable a bounded delay has in the
-        tick world."""
+        tick world.
+
+        ``choices``: a :class:`~repro.mc.choices.ChoiceSource` drawing
+        every open decision — per-message fault verdicts and correct
+        processes' inbox orders — from an explicit decision stream
+        (model checking).  Mutually exclusive with ``fault_plan`` and
+        ``inbox_order="random"``: a checked run's nondeterminism must
+        have exactly one owner.
+
+        ``stop_on_horizon``: instead of raising
+        :class:`~repro.errors.TerminationViolation` when the run
+        exceeds ``max_ticks``, stop and return a
+        :class:`~repro.runtime.result.RunResult` with
+        ``truncated=True`` — bounded model checking verifies safety on
+        such runs and claims termination only for complete ones."""
+        if type(seed) is not int:
+            raise SchedulerError(
+                f"seed must be an int, got {type(seed).__name__} {seed!r}"
+            )
+        if max_ticks < 1:
+            raise SchedulerError(f"max_ticks must be >= 1, got {max_ticks}")
         self.config = config
         self.seed = seed
         self.suite = suite if suite is not None else CryptoSuite(config, seed=seed)
@@ -77,8 +108,21 @@ class Simulation:
             )
         self.inbox_order = inbox_order
         self._inbox_rng = derive_rng(seed, 0x1B0C)
+        if choices is not None and (fault_plan is not None or inbox_order == "random"):
+            raise SchedulerError(
+                "choices is mutually exclusive with fault_plan / "
+                "inbox_order='random': one owner per run's nondeterminism"
+            )
         self.fault_plan = fault_plan
-        self._injector = FaultInjector(fault_plan) if fault_plan is not None else None
+        self.choices = choices
+        if choices is not None:
+            self._injector = FaultInjector(None, choices=choices)
+        elif fault_plan is not None:
+            self._injector = FaultInjector(fault_plan)
+        else:
+            self._injector = None
+        self.stop_on_horizon = stop_on_horizon
+        self.tick_hook: TickHook | None = None
         self.tick = 0
         self._factories: dict[ProcessId, ProtocolFactory] = {}
         self._behaviors: dict[ProcessId, ByzantineBehavior] = {}
@@ -90,6 +134,8 @@ class Simulation:
         self._seq = 0
         self._started = False
         self.corrupted_now: set[ProcessId] = set()
+        self._decisions: dict[ProcessId, Any] = {}
+        self._halted_at: dict[ProcessId, int] = {}
 
     # ------------------------------------------------------------------
     # Population
@@ -169,7 +215,7 @@ class Simulation:
         if self._injector is None:
             copies = [0.0]
         else:  # the ledger bills the *send*; faults act on the wire
-            copies = self._injector.copies(sender, to, self.tick)
+            copies = self._injector.copies(sender, to, self.tick, payload=payload)
         for delay in copies:
             self._due.setdefault(self.tick + 1, []).append((delay, envelope))
         if self.record_envelopes:
@@ -196,10 +242,18 @@ class Simulation:
 
         decisions: dict[ProcessId, Any] = {}
         halted_at: dict[ProcessId, int] = {}
+        # Shared with tick hooks: fingerprinting needs the decided-so-far
+        # view, which otherwise lives only in these locals.
+        self._decisions = decisions
+        self._halted_at = halted_at
         ever_corrupted: set[ProcessId] = set(self.corrupted_now)
+        truncated = False
 
         while generators:
             if self.tick > self.max_ticks:
+                if self.stop_on_horizon:
+                    truncated = True
+                    break
                 raise TerminationViolation(
                     f"run exceeded max_ticks={self.max_ticks}; "
                     f"{sorted(generators)} never decided"
@@ -226,7 +280,18 @@ class Simulation:
                 pending.setdefault(envelope.receiver, []).append((delay, envelope))
             inboxes: dict[ProcessId, list[Envelope]] = {}
             for pid, entries in pending.items():
-                if self._injector is not None:
+                if self.choices is not None:
+                    # Canonicalize (delay, then sender), then let the
+                    # decision stream pick among the offered orderings.
+                    # Byzantine inboxes stay canonical: the adversary
+                    # sees everything anyway, so its perceived order is
+                    # not part of the correctness space.
+                    entries.sort(key=lambda de: (de[0], de[1].sender))
+                    inbox = [e for _, e in entries]
+                    if pid not in self._behaviors:
+                        inbox = self.choices.order_inbox(pid, self.tick, inbox)
+                    inboxes[pid] = inbox
+                elif self._injector is not None:
                     # Delayed copies land later in the inbox; the plan's
                     # seeded reorder may then scramble the whole round.
                     entries.sort(key=lambda de: (de[0], de[1].sender))
@@ -241,6 +306,9 @@ class Simulation:
                     inboxes[pid] = [
                         e for _, e in sorted(entries, key=lambda de: de[1].sender)
                     ]
+
+            if self.tick_hook is not None:
+                self.tick_hook(self, inboxes)
 
             for pid in sorted(generators):
                 ctx = contexts[pid]
@@ -280,6 +348,7 @@ class Simulation:
             ticks=self.tick,
             halted_at=halted_at,
             envelopes=tuple(self.envelopes),
+            truncated=truncated,
         )
 
     def _validate_population(self) -> None:

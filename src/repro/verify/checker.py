@@ -15,7 +15,14 @@ the paper's theorems promise and report violations as data:
   since crafty adversaries may legitimately push runs into fallback at
   smaller ``f``);
 * **Word budget** — measured words within a caller-supplied bound,
-  e.g. :func:`adaptive_word_budget`.
+  e.g. :func:`adaptive_word_budget`;
+* **Fallback sync** — Section 6's echo guarantee (Lemmas 17/18):
+  whenever one correct process runs the fallback, all of them do,
+  within ``delta`` of each other (opt in; the model checker's
+  fallback-echo mutant falsifies exactly this);
+* **Adaptive silence** — the mechanism behind ``O(n(f+1))``: a leader
+  that has decided keeps its later phases silent (opt in; falsified by
+  the non-silent-leaders mutant).
 """
 
 from __future__ import annotations
@@ -124,6 +131,9 @@ def verify_run(
     allow_bottom: bool = False,
     word_budget: Callable[[RunResult], float] | None = None,
     check_lemma6: bool = False,
+    check_fallback_sync: bool = False,
+    fallback_sync_delta: int = 1,
+    check_adaptive_silence: bool = False,
 ) -> Report:
     """Audit ``result``; see the module docstring for the checklist.
 
@@ -142,6 +152,16 @@ def verify_run(
         Assert no fallback ran when ``f < (n-t-1)/2``.  Only meaningful
         when the adversary blocks progress by silence; protocol-aware
         adversaries may legitimately trigger earlier fallbacks.
+    check_fallback_sync:
+        Section 6's certificate-echo guarantee (Lemmas 17/18): if *any*
+        correct process entered the fallback, *every* correct process
+        must, and their entry ticks may differ by at most
+        ``fallback_sync_delta``.  Not meaningful on truncated runs
+        (laggards may simply not have entered yet).
+    check_adaptive_silence:
+        The adaptivity mechanism behind ``O(n(f+1))``: once a correct
+        process has decided, it never opens a later phase as a
+        non-silent leader.
     """
     report = Report()
     correct = result.correct_pids
@@ -217,6 +237,52 @@ def verify_run(
                 "lemma6",
                 f"fallback ran with f={result.f} < (n-t-1)/2={threshold}",
             )
+
+    # Fallback synchronization (Lemmas 17/18).
+    if check_fallback_sync:
+        report.checked.append("fallback-sync")
+        entered: dict[Any, int] = {}
+        for event in result.trace.named("fallback_started"):
+            if event.pid not in result.corrupted and event.pid not in entered:
+                entered[event.pid] = event.tick
+        if entered:
+            for pid in correct:
+                if pid not in entered:
+                    report.add(
+                        "fallback-sync",
+                        f"process {pid} never entered the fallback while "
+                        f"processes {sorted(entered)} did",
+                    )
+            skew = max(entered.values()) - min(entered.values())
+            if skew > fallback_sync_delta:
+                report.add(
+                    "fallback-sync",
+                    f"fallback entry ticks {entered} spread over {skew} "
+                    f"ticks, allowed delta is {fallback_sync_delta}",
+                )
+
+    # Adaptive silence: decided leaders stay silent.
+    if check_adaptive_silence:
+        report.checked.append("adaptive-silence")
+        decided_at: dict[Any, int] = {}
+        for event in result.trace.events:
+            if (
+                event.name in DECISION_EVENTS
+                and event.name != "decided"  # terminal marker, fires late
+                and event.pid not in result.corrupted
+            ):
+                tick = decided_at.get(event.pid, event.tick)
+                decided_at[event.pid] = min(tick, event.tick)
+        for event in result.trace.named("phase_non_silent"):
+            pid = event.pid
+            if pid in result.corrupted:
+                continue
+            if pid in decided_at and decided_at[pid] < event.tick:
+                report.add(
+                    "adaptive-silence",
+                    f"process {pid} opened a phase as leader at tick "
+                    f"{event.tick} despite deciding at tick {decided_at[pid]}",
+                )
 
     # Word budget.
     if word_budget is not None:

@@ -78,3 +78,66 @@ class TestParser:
     def test_rejects_unknown_protocol(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "paxos"])
+
+
+class TestFaultFlags:
+    def test_run_under_fault_plan_reports_effective_f(self, capsys):
+        assert main(
+            ["run", "bb", "--n", "7", "--drop-rate", "0.2",
+             "--lossy-senders", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fault plan: seed=0, drop_rate=0.2" in out
+        assert "effective f (corrupted + omission senders): 1" in out
+        assert "verdict under plan: OK" in out
+
+    def test_omissions_count_toward_the_fault_budget(self, capsys):
+        assert main(
+            ["run", "weak-ba", "--n", "5", "--f", "0", "--drop-rate", "0.3",
+             "--lossy-senders", "1", "3", "--fault-seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "effective f (corrupted + omission senders): 2" in out
+
+    def test_plan_exceeding_t_rejected(self):
+        # n=5 -> t=2; three omission-faulty senders alone exceed t.
+        with pytest.raises(SystemExit, match="exceed t=2"):
+            main(
+                ["run", "weak-ba", "--n", "5", "--f", "0", "--drop-rate",
+                 "0.5", "--lossy-senders", "1", "2", "3"]
+            )
+
+    def test_no_plan_without_fault_flags(self, capsys):
+        assert main(["run", "bb", "--n", "5", "--fault-seed", "9"]) == 0
+        assert "fault plan" not in capsys.readouterr().out
+
+
+class TestModelChecking:
+    def test_explore_proves_the_bounded_space(self, capsys):
+        assert main(
+            ["mc", "explore", "--n", "4", "--max-ticks", "12",
+             "--perm-cap", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PROVED over the bounded schedule space" in out
+        assert "pruned" in out and "distinct states" in out
+
+    def test_explore_random_mode(self, capsys):
+        assert main(
+            ["mc", "explore", "--n", "4", "--mode", "random",
+             "--max-runs", "5"]
+        ) == 0
+        assert "schedules: 5 run" in capsys.readouterr().out
+
+    def test_mutant_kill_and_replay_roundtrip(self, tmp_path, capsys):
+        assert main(
+            ["mc", "mutants", "quorum-off-by-one", "--out-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "KILLED (agreement)" in out
+        artifact = tmp_path / "mutant-quorum-off-by-one.replay.json"
+        assert artifact.exists()
+        assert main(["mc", "replay", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced deterministically" in out
+        assert "[agreement]" in out

@@ -15,7 +15,7 @@ import pytest
 
 from repro.asyncnet import run_async
 from repro.asyncnet.tcp import run_over_tcp
-from repro.config import RunParameters, SystemConfig, derive_rng
+from repro.config import RunParameters, derive_rng
 from repro.core.byzantine_broadcast import (
     byzantine_broadcast_protocol,
     run_byzantine_broadcast,

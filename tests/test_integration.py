@@ -12,8 +12,6 @@ from repro.core.byzantine_broadcast import (
 )
 from repro.core.strong_ba import run_strong_ba
 from repro.core.validity import ExternalValidity
-from repro.core.values import BOTTOM
-from repro.core.weak_ba import run_weak_ba
 from repro.runtime.scheduler import Simulation
 
 
@@ -128,7 +126,6 @@ class TestCrossProtocolConsistency:
         values.  Simulate by having every process propose a t+1-signed
         input certificate for the same value."""
         from repro.core.validity import INPUT_LABEL, SignedInputsValidity
-        from repro.crypto.certificates import CryptoSuite
 
         simulation = Simulation(config7, seed=0)
         suite = simulation.suite

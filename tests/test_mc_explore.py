@@ -1,0 +1,133 @@
+"""Tests for the schedule-space explorer (``repro.mc.explore``).
+
+The headline test is the bounded-space *proof*: exhaustive DFS over the
+n=4, t=1, <=12-tick weak-BA space with an adaptively chosen silenced
+process finds no violation of agreement, validity, adaptive silence, or
+the word budget — and because the space is exhausted (``complete``),
+that is a theorem about the bounded space, not a sample.  The fast
+always-on variant caps inbox permutations at 2 per choice point; the
+``mc_exhaustive``-marked variant widens to 3 (the full cap-6 space is
+154k schedules, ~5 minutes — run it via ``repro mc explore``).
+"""
+
+import pytest
+
+from repro.mc.explore import explore_exhaustive, explore_random, run_schedule
+from repro.mc.scenario import make_scenario
+
+
+def _proof_scenario(perm_cap: int):
+    return make_scenario("weak-ba", n=4, t=1, max_ticks=12, perm_cap=perm_cap)
+
+
+class TestRunSchedule:
+    def test_empty_script_runs_the_canonical_schedule(self):
+        outcome = run_schedule(_proof_scenario(perm_cap=2))
+        assert not outcome.pruned
+        assert outcome.result is not None
+        assert outcome.report is not None
+        # The canonical schedule logs every open decision it met.
+        assert outcome.decisions == [entry.chosen for entry in outcome.log]
+
+    def test_scripted_run_is_deterministic(self):
+        scenario = _proof_scenario(perm_cap=2)
+        first = run_schedule(scenario, (1,))
+        second = run_schedule(scenario, (1,))
+        assert first.decisions == second.decisions
+        assert first.result.trace.canonical() == second.result.trace.canonical()
+
+
+class TestExhaustive:
+    def test_bounded_space_proof_n4(self):
+        """Agreement + validity + word budget over the full bounded
+        space (n=4, t=1, <=12 ticks, perm_cap=2): no counterexample,
+        space exhausted."""
+        result = explore_exhaustive(_proof_scenario(perm_cap=2), max_runs=10_000)
+        assert result.complete, "space not exhausted - not a proof"
+        assert result.ok, result.counterexamples
+        stats = result.stats
+        assert stats.terminal > 0
+        assert stats.pruned > 0
+        assert stats.distinct_states > 0
+        assert stats.runs == stats.terminal + stats.pruned
+
+    @pytest.mark.mc_exhaustive
+    def test_bounded_space_proof_n4_wide(self):
+        """The same proof over the wider perm_cap=3 space (~1.1k
+        schedules); excluded from tier-1 by the marker."""
+        result = explore_exhaustive(_proof_scenario(perm_cap=3), max_runs=100_000)
+        assert result.complete
+        assert result.ok, result.counterexamples
+        print(
+            f"\nexplored {result.stats.runs} schedules "
+            f"({result.stats.terminal} terminal, {result.stats.pruned} pruned, "
+            f"{result.stats.distinct_states} distinct states)"
+        )
+
+    def test_prune_modes_agree_on_verdict(self):
+        # A tiny space (no reordering: the only open decisions are the
+        # adversary's) where pruned and unpruned search must coincide.
+        def scenario():
+            return make_scenario(
+                "weak-ba", n=4, t=1, max_ticks=12, reorder=False
+            )
+
+        unpruned = explore_exhaustive(scenario(), prune=None)
+        behavior = explore_exhaustive(scenario(), prune="behavior")
+        history = explore_exhaustive(scenario(), prune="history")
+        assert unpruned.complete and behavior.complete and history.complete
+        assert unpruned.ok == behavior.ok == history.ok
+        # Pruning may drop runs but never terminal verdicts' union:
+        # every adversary branch still reaches a terminal run somewhere.
+        assert behavior.stats.terminal >= 1
+        assert unpruned.stats.terminal >= behavior.stats.terminal
+
+    def test_max_runs_marks_incomplete(self):
+        result = explore_exhaustive(_proof_scenario(perm_cap=2), max_runs=3)
+        assert result.stats.runs == 3
+        assert not result.complete
+
+    def test_mutated_scenario_yields_counterexample(self):
+        scenario = make_scenario(
+            "weak-ba",
+            n=4,
+            t=1,
+            adversary="equivocating-leader",
+            max_ticks=24,
+            reorder=False,
+            quorum_delta=-1,
+        )
+        result = explore_exhaustive(scenario, stop_at_first=True)
+        assert not result.ok
+        (ce,) = result.counterexamples
+        assert "agreement" in ce.kinds
+        assert ce.params["quorum_delta"] == -1
+
+    def test_bad_prune_mode_rejected(self):
+        from repro.errors import ModelCheckError
+
+        with pytest.raises(ModelCheckError):
+            explore_exhaustive(_proof_scenario(perm_cap=2), prune="turbo")
+
+
+class TestRandomWalk:
+    def test_sound_scenario_survives_random_walks(self):
+        result = explore_random(_proof_scenario(perm_cap=2), runs=20, seed=5)
+        assert result.ok
+        assert result.stats.runs == 20
+        assert not result.complete  # sampling is never a proof
+
+    def test_walk_counterexample_replays_as_script(self):
+        scenario = make_scenario(
+            "weak-ba",
+            n=4,
+            t=1,
+            adversary="equivocating-leader",
+            max_ticks=24,
+            quorum_delta=-1,
+        )
+        result = explore_random(scenario, runs=10, seed=0)
+        assert not result.ok
+        ce = result.counterexamples[0]
+        outcome = run_schedule(scenario, ce.decisions)
+        assert {v.kind for v in outcome.report.violations} >= set(ce.kinds)

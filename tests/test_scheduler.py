@@ -257,3 +257,41 @@ class TestDeterminism:
 
         assert run(11) == run(11)
         assert run(11) != run(12)
+
+
+class TestConstructorValidation:
+    def test_max_ticks_must_be_positive(self, config5):
+        with pytest.raises(SchedulerError, match="max_ticks"):
+            Simulation(config5, max_ticks=0)
+        with pytest.raises(SchedulerError, match="max_ticks"):
+            Simulation(config5, max_ticks=-5)
+
+    def test_seed_must_be_an_int(self, config5):
+        with pytest.raises(SchedulerError, match="seed"):
+            Simulation(config5, seed="42")
+        with pytest.raises(SchedulerError, match="seed"):
+            Simulation(config5, seed=1.5)
+        # bools are ints in Python but almost certainly a caller bug.
+        with pytest.raises(SchedulerError, match="seed"):
+            Simulation(config5, seed=True)
+
+    def test_inbox_order_must_be_known(self, config5):
+        with pytest.raises(SchedulerError, match="inbox_order"):
+            Simulation(config5, inbox_order="fifo")
+
+    def test_choices_excludes_other_nondeterminism_owners(self, config5):
+        from repro.faults.plan import FaultPlan
+        from repro.mc.choices import CLOSED_SPACE, SeededChoices
+
+        with pytest.raises(SchedulerError, match="exclusive"):
+            Simulation(
+                config5,
+                choices=SeededChoices(CLOSED_SPACE, 0),
+                fault_plan=FaultPlan(seed=0, drop_rate=0.1, lossy=frozenset([1])),
+            )
+        with pytest.raises(SchedulerError, match="exclusive"):
+            Simulation(
+                config5,
+                choices=SeededChoices(CLOSED_SPACE, 0),
+                inbox_order="random",
+            )

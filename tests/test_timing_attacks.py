@@ -8,7 +8,6 @@ and tag filtering against out-of-schedule traffic.
 from dataclasses import dataclass
 
 from repro.adversary.protocol_attacks import (
-    FallbackCertDealer,
     WeakBaSplitFinalizeLeader,
 )
 from repro.core.byzantine_broadcast import run_byzantine_broadcast
