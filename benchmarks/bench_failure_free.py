@@ -14,14 +14,16 @@ from repro.core.strong_ba import run_strong_ba
 from repro.core.weak_ba import run_weak_ba
 from repro.core.validity import ExternalValidity
 
-from benchmarks._harness import publish
+from benchmarks._harness import publish, time_percentiles, word_bill
 
 
 def test_algorithm5_fast_path_structure(benchmark):
     rows = []
+    bills = []
     for n in (5, 9, 17, 33):
         config = SystemConfig.with_optimal_resilience(n)
         result = run_strong_ba(config, {p: p % 2 for p in config.processes})
+        bills.append(word_bill(f"strong_ba n={n} f=0", result))
         by_type = result.ledger.words_by_payload_type()
         rows.append(
             [
@@ -48,6 +50,16 @@ def test_algorithm5_fast_path_structure(benchmark):
             rows,
         ),
         "Lemma 8 reproduced: 4 rounds, <= 4(n-1) words, no fallback.",
+        scenario={"protocol": "strong-ba", "ns": [5, 9, 17, 33], "f": 0,
+                  "inputs": "alternating bits"},
+        word_bills=bills,
+        wall_clock=time_percentiles(
+            lambda: run_strong_ba(
+                SystemConfig.with_optimal_resilience(9),
+                {p: 1 for p in range(9)},
+            ),
+            repeats=3,
+        ),
     )
     benchmark.pedantic(
         lambda: run_strong_ba(
@@ -67,6 +79,7 @@ def test_failure_free_is_cheapest_run_for_every_protocol(benchmark):
     config = SystemConfig.with_optimal_resilience(9)
     validity = lambda suite, cfg: ExternalValidity(lambda v: isinstance(v, str))
     rows = []
+    bills = []
     for name, quiet, degraded in (
         (
             "bb",
@@ -98,14 +111,21 @@ def test_failure_free_is_cheapest_run_for_every_protocol(benchmark):
             ),
         ),
     ):
-        quiet_words = quiet().correct_words
-        degraded_words = degraded().correct_words
+        quiet_result = quiet()
+        degraded_result = degraded()
+        quiet_words = quiet_result.correct_words
+        degraded_words = degraded_result.correct_words
+        bills.append(word_bill(f"{name} f=0", quiet_result))
+        bills.append(word_bill(f"{name} f=t", degraded_result))
         rows.append([name, quiet_words, degraded_words,
                      f"{degraded_words / quiet_words:.1f}x"])
         assert quiet_words < degraded_words
     publish(
         "failure_free_cheapest",
         format_table(["protocol", "words f=0", "words f=t", "ratio"], rows),
+        scenario={"n": 9, "protocols": ["bb", "weak_ba", "strong_ba"],
+                  "comparison": "f=0 vs f=t silent adversary"},
+        word_bills=bills,
     )
     benchmark.pedantic(
         lambda: run_strong_ba(config, {p: 1 for p in config.processes}),

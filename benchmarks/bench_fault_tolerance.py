@@ -27,6 +27,8 @@ from repro.core.byzantine_broadcast import (
 from repro.faults import ConnectionReset, FaultPlan
 from repro.verify import verify_under_plan
 
+from benchmarks._harness import publish, time_percentiles, word_bill
+
 CONFIG = SystemConfig(n=5, t=2)
 
 MIXED = FaultPlan(
@@ -53,6 +55,7 @@ def run_sim(plan: FaultPlan):
 def test_drop_sweep_stays_inside_adaptive_envelope(benchmark):
     baseline = run_byzantine_broadcast(CONFIG, sender=0, value="v")
     rows = []
+    bills = []
     for lossy in (frozenset({1}), frozenset({1, 3})):
         for drop in (0.0, 0.2, 0.4, 0.8):
             plan = FaultPlan(
@@ -66,6 +69,9 @@ def test_drop_sweep_stays_inside_adaptive_envelope(benchmark):
             )
             result = run_sim(plan)
             effective_f = len(plan.faulty)
+            bills.append(
+                word_bill(f"bb lossy={sorted(lossy)} drop={drop}", result)
+            )
             rows.append(
                 [
                     sorted(lossy),
@@ -84,8 +90,6 @@ def test_drop_sweep_stays_inside_adaptive_envelope(benchmark):
          "ticks", "fallback"],
         rows,
     )
-    from benchmarks._harness import publish
-
     publish(
         "fault_tolerance",
         publish_rows,
@@ -93,6 +97,11 @@ def test_drop_sweep_stays_inside_adaptive_envelope(benchmark):
         "O(n(f+1)) budget with f = |lossy| (checked by verify_under_plan); "
         "duplicates, reordering, and sub-delta delays never appear in the "
         "word bill, and zero-drop plans cost exactly the failure-free bill.",
+        scenario={"protocol": "bb", "n": CONFIG.n, "t": CONFIG.t,
+                  "drop_rates": [0.0, 0.2, 0.4, 0.8],
+                  "lossy_sets": [[1], [1, 3]], "fault_seed": 7},
+        word_bills=bills,
+        wall_clock=time_percentiles(lambda: run_sim(MIXED), repeats=3),
     )
     benchmark.pedantic(lambda: run_sim(MIXED), rounds=1, iterations=1)
 
@@ -119,8 +128,6 @@ def test_tcp_run_reproduces_simulator_under_resets():
     # Cross-runtime fidelity: same plan, same seed => the socket run
     # pays exactly the simulator's word bill.
     assert tcp.correct_words == sim.correct_words
-    from benchmarks._harness import publish
-
     publish(
         "fault_tolerance_tcp",
         format_table(
@@ -139,4 +146,9 @@ def test_tcp_run_reproduces_simulator_under_resets():
         "A mid-run connection reset on the busiest edge is absorbed by "
         "reconnect-with-backoff; the TCP run's decisions and word counts "
         "match the tick simulator's exactly under the same FaultPlan seed.",
+        scenario={"protocol": "bb", "n": CONFIG.n, "t": CONFIG.t,
+                  "plan": plan.describe(),
+                  "reset": {"tick": 18, "sender": 2, "receiver": 1}},
+        word_bills=[word_bill("tick simulator", sim),
+                    word_bill("tcp sockets", tcp)],
     )

@@ -1,0 +1,94 @@
+"""Observability overhead: disabled instrumentation must be ~free.
+
+The contract (DESIGN.md Section 10): ``observer=None`` is the
+uninstrumented baseline; a :class:`~repro.obs.NullObserver` is
+*disabled* instrumentation, which every runtime collapses to the
+``None`` fast path at construction (``active_or_none``), so the two
+configurations execute the same hot-path code.  This bench measures all
+three operating points on the same workload and asserts the disabled
+cost stays within 5% of baseline.
+
+Methodology: the three variants are timed in interleaved rounds (so a
+load spike hits all of them equally) and compared on their *minimum*
+times — the standard low-noise estimator for "how fast can this code
+path go".
+"""
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.adversary.behaviors import SilentBehavior
+from repro.config import RunParameters, SystemConfig
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+from repro.obs import NullObserver, Observer
+
+from benchmarks._harness import publish, time_percentiles
+
+CONFIG = SystemConfig.with_optimal_resilience(9)
+VALIDITY = lambda suite, cfg: ExternalValidity(lambda v: isinstance(v, str))
+ROUNDS = 9
+DISABLED_BUDGET = 1.05  # disabled instrumentation within 5% of baseline
+
+
+def _run(observer_factory):
+    byzantine = {1: SilentBehavior(), 3: SilentBehavior()}
+    inputs = {p: "v" for p in CONFIG.processes if p not in byzantine}
+    params = RunParameters(seed=0, observer=observer_factory())
+    return run_weak_ba(
+        CONFIG, inputs, VALIDITY, byzantine=byzantine, seed=0, params=params
+    )
+
+
+def _time_once(observer_factory) -> float:
+    start = time.perf_counter()
+    _run(observer_factory)
+    return time.perf_counter() - start
+
+
+def test_disabled_observer_costs_nothing(benchmark):
+    variants = {
+        "baseline (observer=None)": lambda: None,
+        "disabled (NullObserver)": NullObserver,
+        "enabled (Observer)": Observer,
+    }
+    samples = {label: [] for label in variants}
+    _run(lambda: None)  # warm caches before timing anything
+    for _ in range(ROUNDS):  # interleaved: noise hits every variant alike
+        for label, factory in variants.items():
+            samples[label].append(_time_once(factory))
+    best = {label: min(times) for label, times in samples.items()}
+    base = best["baseline (observer=None)"]
+    rows = [
+        [label, f"{best[label] * 1e3:.2f}", f"{best[label] / base:.3f}x"]
+        for label in variants
+    ]
+    disabled_ratio = best["disabled (NullObserver)"] / base
+    enabled_ratio = best["enabled (Observer)"] / base
+    publish(
+        "obs_overhead",
+        format_table(["variant", "best of 9 (ms)", "vs baseline"], rows),
+        f"disabled instrumentation costs {disabled_ratio:.3f}x the "
+        f"uninstrumented baseline (budget {DISABLED_BUDGET}x); full "
+        f"recording costs {enabled_ratio:.3f}x.",
+        scenario={
+            "protocol": "weak-ba",
+            "n": CONFIG.n,
+            "f": 2,
+            "rounds": ROUNDS,
+            "estimator": "min",
+            "disabled_ratio": disabled_ratio,
+            "enabled_ratio": enabled_ratio,
+            "budget": DISABLED_BUDGET,
+        },
+        wall_clock=time_percentiles(lambda: _run(lambda: None), repeats=3),
+    )
+    assert disabled_ratio <= DISABLED_BUDGET, (
+        f"disabled observer cost {disabled_ratio:.3f}x baseline "
+        f"(> {DISABLED_BUDGET}x): the NullObserver fast-path collapse "
+        "is not collapsing"
+    )
+    # Full recording is allowed to cost something, but staying within
+    # 2x guards against accidentally quadratic instrumentation.
+    assert enabled_ratio <= 2.0
+    benchmark.pedantic(lambda: _run(Observer), rounds=3, iterations=1)

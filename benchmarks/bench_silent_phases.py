@@ -13,7 +13,7 @@ from repro.config import SystemConfig
 from repro.core.validity import ExternalValidity
 from repro.core.weak_ba import run_weak_ba
 
-from benchmarks._harness import publish
+from benchmarks._harness import publish, word_bill
 
 VALIDITY = lambda suite, cfg: ExternalValidity(lambda v: isinstance(v, str))
 
@@ -32,6 +32,7 @@ def test_non_silent_phases_bounded_by_f_plus_one(benchmark):
     n = 17
     config = SystemConfig.with_optimal_resilience(n)
     rows = []
+    bills = []
     violations = []
     for f in range(0, config.t + 1):
         for label, factory in (
@@ -39,6 +40,7 @@ def test_non_silent_phases_bounded_by_f_plus_one(benchmark):
             ("teasing", lambda pid: WeakBaTeasingLeader(value="t")),
         ):
             result, non_silent = count_non_silent(n, f, factory)
+            bills.append(word_bill(f"weak_ba n={n} f={f} {label}", result))
             rows.append(
                 [f, label, non_silent, f + 1,
                  "yes" if result.fallback_was_used() else "no"]
@@ -53,6 +55,10 @@ def test_non_silent_phases_bounded_by_f_plus_one(benchmark):
         ),
         f"violations of the f+1 bound in adaptive runs: {len(violations)} "
         "(paper Section 6.1: expected 0)",
+        scenario={"protocol": "weak-ba", "n": n,
+                  "fs": list(range(0, config.t + 1)),
+                  "adversaries": ["silent", "teasing"]},
+        word_bills=bills,
     )
     assert not violations
     benchmark.pedantic(
@@ -82,6 +88,9 @@ def test_silent_phases_cost_nothing(benchmark):
         f"{phase_words} phase words over {result.config.n} phases "
         f"(~{phase_words / max(non_silent, 1):.0f} words per non-silent "
         "phase; silent phases are free)",
+        scenario={"protocol": "weak-ba", "n": n, "f": 0,
+                  "phase_words": phase_words, "non_silent": non_silent},
+        word_bills=[word_bill(f"weak_ba n={n} f=0", result)],
     )
     # All phase words are attributable to the single non-silent phase,
     # and that phase is O(n): 5 leader/all exchanges.

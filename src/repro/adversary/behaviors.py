@@ -17,6 +17,7 @@ from repro.crypto.signatures import sign_value
 from repro.runtime.byzantine import ByzantineApi
 
 
+@dataclass
 class SilentBehavior:
     """Sends nothing, ever — an immediately crashed process.
 
@@ -24,6 +25,11 @@ class SilentBehavior:
     :meth:`repro.runtime.scheduler.Simulation.schedule_corruption` with
     this behavior: the process follows the protocol honestly until the
     crash tick, then falls silent.
+
+    A dataclass like every other behavior: the model checker's
+    ``"behavior"`` fingerprint hashes ``repr(behavior)``, so a default
+    object repr (which embeds a memory address) would make pruning
+    nondeterministic across explorations.
     """
 
     def step(self, api: ByzantineApi) -> None:

@@ -19,14 +19,27 @@ from repro.metrics.words import WordLedger, WordRecord
 from repro.runtime.result import RunResult
 from repro.runtime.trace import Trace, TraceEvent
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+"""Version 2 adds per-record ``phase``, an optional ``meta`` block
+(protocol/seed/num_phases, supplied by the caller), and an optional
+``obs`` observer snapshot.  :func:`load_run` still reads version 1."""
 
 
-def run_to_dict(result: RunResult) -> dict:
-    """Serialize ``result`` to a JSON-compatible dict."""
+def run_to_dict(result: RunResult, *, meta: dict | None = None) -> dict:
+    """Serialize ``result`` to a JSON-compatible dict.
+
+    ``meta`` is caller-supplied run context (protocol name, seed,
+    ``num_phases``, …) that the result object itself cannot know; the
+    ``repro obs summary`` silent-phase computation uses its
+    ``num_phases`` as the planned-phase count.  When the result carries
+    an observer, its snapshot is exported under ``obs``.
+    """
+    observer = getattr(result, "observer", None)
     return {
         "format_version": FORMAT_VERSION,
         "config": {"n": result.config.n, "t": result.config.t},
+        "meta": dict(meta) if meta else {},
+        "obs": observer.snapshot() if observer is not None else None,
         "f": result.f,
         "corrupted": sorted(result.corrupted),
         "ticks": result.ticks,
@@ -52,6 +65,7 @@ def run_to_dict(result: RunResult) -> dict:
                 "scope": r.scope,
                 "payload_type": r.payload_type,
                 "sender_correct": r.sender_correct,
+                "phase": r.phase,
             }
             for r in result.ledger.records
         ],
@@ -68,10 +82,12 @@ def run_to_dict(result: RunResult) -> dict:
     }
 
 
-def save_run(result: RunResult, path: str | Path) -> Path:
+def save_run(
+    result: RunResult, path: str | Path, *, meta: dict | None = None
+) -> Path:
     """Write the JSON export; returns the path."""
     path = Path(path)
-    path.write_text(json.dumps(run_to_dict(result), indent=1))
+    path.write_text(json.dumps(run_to_dict(result, meta=meta), indent=1))
     return path
 
 
@@ -88,6 +104,8 @@ class LoadedRun:
     summary: dict[str, Any]
     ledger: WordLedger
     trace: Trace
+    meta: dict[str, Any]
+    obs: dict[str, Any] | None
 
     @property
     def correct_words(self) -> int:
@@ -97,7 +115,7 @@ class LoadedRun:
 def load_run(path: str | Path) -> LoadedRun:
     """Read an export produced by :func:`save_run`."""
     raw = json.loads(Path(path).read_text())
-    if raw.get("format_version") != FORMAT_VERSION:
+    if raw.get("format_version") not in (1, FORMAT_VERSION):
         raise ValueError(
             f"unsupported export format {raw.get('format_version')!r}"
         )
@@ -112,6 +130,7 @@ def load_run(path: str | Path) -> LoadedRun:
                 scope=r["scope"],
                 payload_type=r["payload_type"],
                 sender_correct=r["sender_correct"],
+                phase=r.get("phase"),
             )
             for r in raw["records"]
         ]
@@ -138,4 +157,6 @@ def load_run(path: str | Path) -> LoadedRun:
         summary=raw["summary"],
         ledger=ledger,
         trace=trace,
+        meta=raw.get("meta", {}),
+        obs=raw.get("obs"),
     )

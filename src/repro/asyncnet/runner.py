@@ -30,6 +30,7 @@ from repro.crypto.keys import Signer
 from repro.errors import SchedulerError
 from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.words import WordLedger
+from repro.obs.observer import Observer, active_or_none
 from repro.runtime.envelope import Envelope
 from repro.runtime.trace import Trace
 
@@ -44,6 +45,8 @@ class AsyncRunResult:
     ledger: WordLedger
     trace: Trace
     elapsed: float
+    observer: Observer | None = None
+    """Telemetry observer that watched the run (``None`` = uninstrumented)."""
 
     @property
     def correct_words(self) -> int:
@@ -92,6 +95,7 @@ class AsyncNetwork:
         tick_duration: float = 0.02,
         latency: float = 0.0,
         fault_plan: FaultPlan | None = None,
+        observer: Observer | None = None,
     ) -> None:
         if latency >= tick_duration:
             raise SchedulerError(
@@ -115,6 +119,7 @@ class AsyncNetwork:
         self.injector = FaultInjector(fault_plan) if fault_plan is not None else None
         self.ledger = WordLedger()
         self.trace = Trace()
+        self.observer = active_or_none(observer)
         self.queues: dict[ProcessId, asyncio.Queue] = {}
         self.corrupted: set[ProcessId] = set()
         self.global_tick = 0
@@ -141,7 +146,7 @@ class AsyncNetwork:
     ) -> None:
         if to not in self.config.processes:
             raise SchedulerError(f"send to unknown process {to}")
-        self.ledger.record(
+        record = self.ledger.record(
             tick=tick,
             sender=sender,
             receiver=to,
@@ -149,6 +154,9 @@ class AsyncNetwork:
             scope=scope,
             sender_correct=sender not in self.corrupted,
         )
+        obs = self.observer
+        if obs is not None and record is not None:
+            obs.on_send(record)
         envelope = Envelope(
             sender=sender,
             receiver=to,
@@ -160,6 +168,14 @@ class AsyncNetwork:
             copies = [0.0]
         else:  # the ledger billed the send; faults act on the wire
             copies = self.injector.copies(sender, to, tick)
+            if obs is not None:
+                if not copies:
+                    obs.on_fault("dropped")
+                else:
+                    if len(copies) > 1:
+                        obs.on_fault("duplicated", len(copies) - 1)
+                    if any(delay > 0 for delay in copies):
+                        obs.on_fault("delayed")
         queue = self.queue_for(to)
         for delay_fraction in copies:
             delay = self.latency + delay_fraction * self.tick_duration
@@ -376,6 +392,7 @@ async def run_async(
     crashed: frozenset[ProcessId] = frozenset(),
     byzantine: dict[ProcessId, Any] | None = None,
     fault_plan: FaultPlan | None = None,
+    observer: Observer | None = None,
 ) -> AsyncRunResult:
     """Run one protocol instance over asyncio.
 
@@ -396,6 +413,7 @@ async def run_async(
         tick_duration=tick_duration,
         latency=latency,
         fault_plan=fault_plan,
+        observer=observer,
     )
     network.corrupted = set(crashed) | set(byzantine)
     missing = [
@@ -434,4 +452,5 @@ async def run_async(
         ledger=network.ledger,
         trace=network.trace,
         elapsed=loop.time() - started,
+        observer=network.observer,
     )

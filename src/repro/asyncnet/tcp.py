@@ -48,6 +48,7 @@ from repro.asyncnet.runner import AsyncContext, AsyncNetwork, AsyncRunResult
 from repro.config import ProcessId, SystemConfig
 from repro.errors import SchedulerError, TerminationViolation
 from repro.faults import FaultPlan
+from repro.obs.observer import Observer
 from repro.runtime.envelope import Envelope
 
 _HEADER = struct.Struct(">I")
@@ -248,6 +249,10 @@ class TcpProcessNode:
                 name="reconnected",
                 peer=peer_pid,
             )
+            obs = self.network.observer
+            if obs is not None:
+                obs.on_transport("reconnected")
+                obs.event("reconnected", pid=self.pid, peer=peer_pid)
 
         return record
 
@@ -258,15 +263,25 @@ class TcpProcessNode:
             return
         # Connection faults first: an injected reset fires on the next
         # send over its edge, so the frame below exercises reconnect.
+        obs = self.network.observer
         peer = self.peers.get(envelope.receiver)
         if peer is not None and injector.take_reset(
             self.pid, envelope.receiver, envelope.sent_at
         ):
             peer.inject_reset()
+            if obs is not None:
+                obs.on_fault("reset")
         loop = asyncio.get_running_loop()
-        for delay_fraction in injector.copies(
-            self.pid, envelope.receiver, envelope.sent_at
-        ):
+        copies = injector.copies(self.pid, envelope.receiver, envelope.sent_at)
+        if obs is not None:
+            if not copies:
+                obs.on_fault("dropped")
+            else:
+                if len(copies) > 1:
+                    obs.on_fault("duplicated", len(copies) - 1)
+                if any(fraction > 0 for fraction in copies):
+                    obs.on_fault("delayed")
+        for delay_fraction in copies:
             delay = delay_fraction * self.network.tick_duration
             if delay > 0:
                 loop.call_later(delay, self._dispatch, envelope)
@@ -330,7 +345,7 @@ class _TcpContext(AsyncContext):
     def send(self, to: ProcessId, payload: object) -> None:
         if to not in self.config.processes:
             raise SchedulerError(f"send to unknown process {to}")
-        self._network.ledger.record(
+        record = self._network.ledger.record(
             tick=self.now,
             sender=self.pid,
             receiver=to,
@@ -338,6 +353,9 @@ class _TcpContext(AsyncContext):
             scope=self.scope_path,
             sender_correct=True,
         )
+        obs = self._network.observer
+        if obs is not None and record is not None:
+            obs.on_send(record)
         self._node.transmit(
             Envelope(
                 sender=self.pid,
@@ -383,6 +401,7 @@ async def run_over_tcp(
     crashed: frozenset[ProcessId] = frozenset(),
     fault_plan: FaultPlan | None = None,
     timeout: float | None = 120.0,
+    observer: "Observer | None" = None,
 ) -> AsyncRunResult:
     """Run one protocol instance over localhost TCP sockets.
 
@@ -397,7 +416,8 @@ async def run_over_tcp(
     loop = asyncio.get_running_loop()
     started = loop.time()
     network = AsyncNetwork(
-        config, seed=seed, tick_duration=tick_duration, fault_plan=fault_plan
+        config, seed=seed, tick_duration=tick_duration, fault_plan=fault_plan,
+        observer=observer,
     )
     network.corrupted = set(crashed)
     live = [pid for pid in config.processes if pid not in crashed]
@@ -449,4 +469,5 @@ async def run_over_tcp(
         ledger=network.ledger,
         trace=network.trace,
         elapsed=loop.time() - started,
+        observer=network.observer,
     )

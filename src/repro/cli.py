@@ -108,6 +108,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     avoid = frozenset({0}) if args.protocol in ("bb", "dolev-strong") else frozenset()
     byzantine = _byzantine_map(config, args.f, args.adversary, args.seed, avoid)
     plan = _fault_plan(args)
+    observer = None
+    if args.obs_log or args.export:
+        # Tick-clocked observer: deterministic telemetry, and the export
+        # gains an ``obs`` snapshot for ``repro obs summary`` hot spots.
+        from repro.obs import Observer
+
+        observer = Observer()
     if plan is not None and plan.faulty:
         effective = len(frozenset(byzantine) | plan.faulty)
         if effective > config.t:
@@ -116,7 +123,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"({sorted(plan.faulty)}) exceed t={config.t}: no property "
                 "can be promised; reduce --f or --lossy-senders"
             )
-    params = RunParameters(seed=args.seed, fault_plan=plan)
+    params = RunParameters(seed=args.seed, fault_plan=plan, observer=observer)
     if args.protocol == "bb":
         result = run_byzantine_broadcast(
             config, sender=0, value=args.value, byzantine=byzantine,
@@ -179,10 +186,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"  verdict under plan: {report.summary()}")
         if not report.ok:
             return 1
-    if getattr(args, "export", None):
+    if args.obs_log:
+        path = observer.write_events(args.obs_log)
+        print(f"  observer event log written to {path}")
+    if args.export:
         from repro.analysis.export import save_run
 
-        path = save_run(result, args.export)
+        meta = {
+            "protocol": args.protocol,
+            "n": config.n,
+            "t": config.t,
+            "f": args.f,
+            "seed": args.seed,
+            "num_phases": params.phases_for(config),
+        }
+        path = save_run(result, args.export, meta=meta)
         print(f"  run exported to {path}")
     return 0
 
@@ -345,6 +363,56 @@ def cmd_mc_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_export(path: str) -> dict:
+    import json
+    from pathlib import Path
+
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, dict) or "format_version" not in raw:
+        raise SystemExit(
+            f"{path} is not a run export (expected a `repro run --export` file)"
+        )
+    return raw
+
+
+def cmd_obs_summary(args: argparse.Namespace) -> int:
+    from repro.obs import render_summary, summarize_export
+
+    print(render_summary(summarize_export(_load_export(args.export_path))))
+    return 0
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import summarize_export
+
+    text = json.dumps(summarize_export(_load_export(args.export_path)), indent=1)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text + "\n")
+        print(f"summary written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_obs_validate(args: argparse.Namespace) -> int:
+    from repro.obs import validate_bench_result_file
+
+    failures = 0
+    for path in args.paths:
+        errors = validate_bench_result_file(path)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(error)
+        else:
+            print(f"{path}: ok")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -375,7 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument(
         "--export", default=None, metavar="PATH",
-        help="write the full run (ledger + trace) to a JSON file",
+        help="write the full run (ledger + trace + observer snapshot) "
+        "to a JSON file",
+    )
+    run_parser.add_argument(
+        "--obs-log", default=None, metavar="PATH",
+        help="record the run with an observer and write its structured "
+        "event log as JSONL",
     )
     run_parser.add_argument(
         "--fault-seed", type=int, default=0,
@@ -472,6 +546,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_parser.add_argument("artifact", metavar="PATH")
     replay_parser.set_defaults(func=cmd_mc_replay)
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability: summarize exports, validate bench JSON"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    obs_summary = obs_sub.add_parser(
+        "summary",
+        help="per-phase words, silent-phase ratio, fallback skew, hot "
+        "spots of one recorded run (a `repro run --export` file)",
+    )
+    obs_summary.add_argument("export_path", metavar="EXPORT.json")
+    obs_summary.set_defaults(func=cmd_obs_summary)
+
+    obs_export = obs_sub.add_parser(
+        "export", help="the same summary as machine-readable JSON"
+    )
+    obs_export.add_argument("export_path", metavar="EXPORT.json")
+    obs_export.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the summary JSON here instead of stdout",
+    )
+    obs_export.set_defaults(func=cmd_obs_export)
+
+    obs_validate = obs_sub.add_parser(
+        "validate",
+        help="check benchmarks/results/*.json against the result schema",
+    )
+    obs_validate.add_argument("paths", nargs="+", metavar="RESULT.json")
+    obs_validate.set_defaults(func=cmd_obs_validate)
 
     report_parser = sub.add_parser(
         "report", help="run the condensed claim battery, emit markdown"

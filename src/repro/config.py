@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
+    from repro.obs.observer import Observer
 
 ProcessId = int
 """Processes are identified by integers ``0 .. n-1``."""
@@ -178,12 +179,17 @@ class RunParameters:
         Optional :class:`~repro.faults.plan.FaultPlan` injected between
         protocol sends and delivery (drops, duplicates, sub-``delta``
         delays, inbox reordering).  ``None`` runs the pristine network.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer` threaded into the
+        simulation for metrics/events/timing.  Telemetry only — a run's
+        outcome is identical with or without one.
     """
 
     seed: int = 0
     num_phases: int | None = None
     max_ticks: int = 100_000
     fault_plan: "FaultPlan | None" = None
+    observer: "Observer | None" = None
 
     def phases_for(self, config: SystemConfig) -> int:
         """Resolve ``num_phases`` against a concrete configuration."""

@@ -69,6 +69,9 @@ class SbaCertRequest:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        return 1  # the leader signs its request
+
 
 @dataclass(frozen=True)
 class SbaInputShare:
@@ -81,6 +84,9 @@ class SbaInputShare:
 
     def words(self) -> int:
         return 1
+
+    def signatures(self) -> int:
+        return self.partial.signatures()
 
 
 @dataclass(frozen=True)
@@ -254,7 +260,9 @@ def run_adaptive_strong_ba(
 
     byzantine = byzantine or {}
     params = params or RunParameters()
-    simulation = Simulation(config, seed=seed, max_ticks=params.max_ticks)
+    simulation = Simulation(
+        config, seed=seed, max_ticks=params.max_ticks, observer=params.observer
+    )
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])

@@ -71,6 +71,9 @@ class BbSenderValue:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        return self.signed.signatures()
+
 
 @dataclass(frozen=True)
 class BbHelpReq:
@@ -81,6 +84,9 @@ class BbHelpReq:
 
     def words(self) -> int:
         return 1
+
+    def signatures(self) -> int:
+        return 1  # the leader signs its request
 
 
 @dataclass(frozen=True)
@@ -94,6 +100,11 @@ class BbValueReply:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        if isinstance(self.value, QuorumCertificate):
+            return self.value.signatures()
+        return 1
+
 
 @dataclass(frozen=True)
 class BbIdkReply:
@@ -105,6 +116,9 @@ class BbIdkReply:
 
     def words(self) -> int:
         return 1
+
+    def signatures(self) -> int:
+        return self.partial.signatures()
 
 
 @dataclass(frozen=True)
@@ -313,7 +327,8 @@ def run_byzantine_broadcast(
     byzantine = byzantine or {}
     params = params or RunParameters()
     simulation = Simulation(
-        config, seed=seed, max_ticks=params.max_ticks, fault_plan=params.fault_plan
+        config, seed=seed, max_ticks=params.max_ticks,
+        fault_plan=params.fault_plan, observer=params.observer,
     )
     for pid in config.processes:
         if pid in byzantine:

@@ -70,6 +70,9 @@ class SbaInput:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        return self.partial.signatures()
+
 
 @dataclass(frozen=True)
 class SbaPropose:
@@ -96,6 +99,9 @@ class SbaDecideShare:
 
     def words(self) -> int:
         return 1
+
+    def signatures(self) -> int:
+        return self.partial.signatures()
 
 
 @dataclass(frozen=True)
@@ -352,7 +358,8 @@ def run_strong_ba(
     byzantine = byzantine or {}
     params = params or RunParameters()
     simulation = Simulation(
-        config, seed=seed, max_ticks=params.max_ticks, fault_plan=params.fault_plan
+        config, seed=seed, max_ticks=params.max_ticks,
+        fault_plan=params.fault_plan, observer=params.observer,
     )
     for pid in config.processes:
         if pid in byzantine:

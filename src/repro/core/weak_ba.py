@@ -74,6 +74,9 @@ class WbaPropose:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        return 1  # the leader's own signature on the proposal
+
 
 @dataclass(frozen=True)
 class WbaVote:
@@ -86,6 +89,9 @@ class WbaVote:
 
     def words(self) -> int:
         return 1
+
+    def signatures(self) -> int:
+        return self.partial.signatures()
 
 
 @dataclass(frozen=True)
@@ -134,6 +140,9 @@ class WbaDecideShare:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        return self.partial.signatures()
+
 
 @dataclass(frozen=True)
 class WbaFinalize:
@@ -161,6 +170,9 @@ class WbaHelpReq:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        return self.partial.signatures()
+
 
 @dataclass(frozen=True)
 class WbaHelp:
@@ -173,6 +185,9 @@ class WbaHelp:
 
     def words(self) -> int:
         return 1
+
+    def signatures(self) -> int:
+        return self.proof.signatures()
 
     def signatures(self) -> int:
         return self.proof.signatures()
@@ -734,7 +749,8 @@ def run_weak_ba(
     byzantine = byzantine or {}
     params = params or RunParameters()
     simulation = Simulation(
-        config, seed=seed, max_ticks=params.max_ticks, fault_plan=params.fault_plan
+        config, seed=seed, max_ticks=params.max_ticks,
+        fault_plan=params.fault_plan, observer=params.observer,
     )
     validity = validity_factory(simulation.suite, config)
     for pid in config.processes:

@@ -34,6 +34,9 @@ class Signature:
         """A signature is one word in the paper's complexity model."""
         return 1
 
+    def signatures(self) -> int:
+        return 1
+
 
 @dataclass(frozen=True)
 class SignedValue:
@@ -55,6 +58,9 @@ class SignedValue:
 
     def words(self) -> int:
         """One value plus one signature — one word (Section 2)."""
+        return 1
+
+    def signatures(self) -> int:
         return 1
 
 
@@ -87,6 +93,9 @@ class EquivocationProof:
     def words(self) -> int:
         """Two signed values — still a constant number of signatures."""
         return 1
+
+    def signatures(self) -> int:
+        return self.first.signatures() + self.second.signatures()
 
 
 def sign_value(signer, payload: object) -> SignedValue:

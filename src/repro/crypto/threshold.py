@@ -61,6 +61,10 @@ class PartialSignature:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        """A share is one individual signature."""
+        return 1
+
 
 @dataclass(frozen=True)
 class ThresholdSignature:
@@ -79,6 +83,10 @@ class ThresholdSignature:
     def words(self) -> int:
         """Threshold signatures batch k signatures into one word."""
         return 1
+
+    def signatures(self) -> int:
+        """Lower-bound accounting: the batched individual signatures."""
+        return len(self.signers)
 
 
 class ThresholdScheme:

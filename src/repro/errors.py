@@ -44,6 +44,12 @@ class InvalidCertificateError(CryptoError):
     """A quorum certificate failed verification."""
 
 
+class WordAccountingError(ReproError):
+    """A payload's word/signature accounting method returned an
+    impossible value (e.g. ``words() < 1``: every message carries at
+    least one word in the paper's model, Section 2)."""
+
+
 class RuntimeSimulationError(ReproError):
     """Base class for errors in the synchronous runtime."""
 

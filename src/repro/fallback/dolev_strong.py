@@ -137,7 +137,8 @@ def run_dolev_strong(
     byzantine = byzantine or {}
     params = params or RunParameters()
     simulation = Simulation(
-        config, seed=seed, max_ticks=params.max_ticks, fault_plan=params.fault_plan
+        config, seed=seed, max_ticks=params.max_ticks,
+        fault_plan=params.fault_plan, observer=params.observer,
     )
     for pid in config.processes:
         if pid in byzantine:

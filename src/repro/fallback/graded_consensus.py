@@ -83,6 +83,9 @@ class GcClaim:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        return self.partial.signatures()
+
 
 @dataclass(frozen=True)
 class GcSupport:

@@ -71,6 +71,9 @@ class CommitteeReport:
     def words(self) -> int:
         return 1
 
+    def signatures(self) -> int:
+        return 1  # the member's signature on the report
+
 
 @dataclass(frozen=True)
 class PairProposal:
@@ -81,6 +84,9 @@ class PairProposal:
 
     def words(self) -> int:
         return 1
+
+    def signatures(self) -> int:
+        return 1  # the proposer's signature
 
 
 def ba_rounds(m: int) -> int:
@@ -258,7 +264,8 @@ def run_fallback_ba(
     byzantine = byzantine or {}
     params = params or RunParameters()
     simulation = Simulation(
-        config, seed=seed, max_ticks=params.max_ticks, fault_plan=params.fault_plan
+        config, seed=seed, max_ticks=params.max_ticks,
+        fault_plan=params.fault_plan, observer=params.observer,
     )
     for pid in config.processes:
         if pid in byzantine:

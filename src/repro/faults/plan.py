@@ -180,21 +180,45 @@ class FaultPlan:
         self, sender: ProcessId, receiver: ProcessId, tick: int, seq: int
     ) -> FaultDecision:
         """The (deterministic) fate of the ``seq``-th message sent on the
-        ``sender -> receiver`` edge during ``tick``."""
+        ``sender -> receiver`` edge during ``tick``.
+
+        Every verdict consumes a **fixed schedule of five draws** —
+        drop gate, duplicate gate, duplicate count, delay gate, delay
+        amount — regardless of which rates are set.  Historically, draws
+        were made lazily inside the conditionals, so toggling one rate
+        (or setting ``max_duplicates=0``) shifted the draws every *other*
+        fault type saw, and "the same seed" meant different duplicates
+        and delays across plan configs.  With the fixed schedule, the
+        duplicate/delay streams of two plans differing only in
+        ``drop_rate`` are identical (see tests/test_faults.py).
+        """
         rng = derive_rng(
             self.seed, _MESSAGE_TAG ^ _mix(0, 0, sender, receiver, tick, seq)
         )
-        drop = False
-        if self.drop_rate and (not self.lossy or sender in self.lossy):
-            drop = rng.random() < self.drop_rate
+        drop_draw = rng.random()
+        duplicate_gate_draw = rng.random()
+        duplicate_count_draw = rng.random()
+        delay_gate_draw = rng.random()
+        delay_amount_draw = rng.random()
+
+        drop = bool(
+            self.drop_rate
+            and (not self.lossy or sender in self.lossy)
+            and drop_draw < self.drop_rate
+        )
         duplicates = 0
-        if self.duplicate_rate and rng.random() < self.duplicate_rate:
-            duplicates = rng.randint(1, self.max_duplicates) if self.max_duplicates else 0
+        if (
+            self.duplicate_rate
+            and self.max_duplicates  # a zero cap makes a fired verdict a no-op
+            and duplicate_gate_draw < self.duplicate_rate
+        ):
+            # duplicate_count_draw in [0, 1) -> uniform over 1..max_duplicates.
+            duplicates = 1 + int(duplicate_count_draw * self.max_duplicates)
         delay = 0.0
         if sender in self.slow:
             delay = self.max_delay
-        elif self.delay_rate and rng.random() < self.delay_rate:
-            delay = rng.uniform(0.0, self.max_delay)
+        elif self.delay_rate and delay_gate_draw < self.delay_rate:
+            delay = delay_amount_draw * self.max_delay
         return FaultDecision(drop=drop, duplicates=duplicates, delay=delay)
 
     def order_inbox(

@@ -3,8 +3,15 @@
 from repro.metrics.words import (
     WordLedger,
     WordRecord,
+    payload_phase,
     payload_signatures,
     payload_words,
 )
 
-__all__ = ["WordLedger", "WordRecord", "payload_words", "payload_signatures"]
+__all__ = [
+    "WordLedger",
+    "WordRecord",
+    "payload_words",
+    "payload_signatures",
+    "payload_phase",
+]

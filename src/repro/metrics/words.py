@@ -23,6 +23,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.config import ProcessId
+from repro.errors import WordAccountingError
 
 
 def payload_words(payload: object) -> int:
@@ -30,11 +31,22 @@ def payload_words(payload: object) -> int:
 
     Payloads are expected to implement ``words()``; anything else (e.g. a
     bare string used in a test) counts as the minimum, one word.
+
+    A ``words()`` result below 1 is a broken accounting method, not a
+    small message — the paper's model says *every* message carries at
+    least one word (Section 2), so silently clamping would mask the bug
+    in whichever payload under-reports.  Raise instead.
     """
     words = getattr(payload, "words", None)
     if callable(words):
-        count = words()
-        return max(1, int(count))
+        count = int(words())
+        if count < 1:
+            raise WordAccountingError(
+                f"{type(payload).__name__}.words() returned {count}; every "
+                "message is at least 1 word (Section 2) — fix the payload's "
+                "accounting instead of relying on a clamp"
+            )
+        return count
     return 1
 
 
@@ -43,13 +55,27 @@ def payload_signatures(payload: object) -> int:
 
     A threshold certificate is one word but contains its whole quorum's
     signatures; payloads advertise this via ``signatures()``.  Payloads
-    without the method count one signature per word (every protocol
-    message here is signed).
+    without the method carry **zero** signatures: bare strings and plain
+    test payloads are unsigned, and every signed protocol payload
+    declares its count explicitly.  (Historically the fallback was one
+    signature per word, which inflated signature totals for unsigned
+    payloads — see tests/test_metrics.py for the regression.)
     """
     signatures = getattr(payload, "signatures", None)
     if callable(signatures):
         return max(0, int(signatures()))
-    return payload_words(payload)
+    return 0
+
+
+def payload_phase(payload: object) -> int | None:
+    """The protocol phase a payload belongs to, when it advertises one.
+
+    Phase-structured payloads (weak BA, BB vetting, adaptive strong BA)
+    carry a ``phase`` field; the ledger records it so per-phase word
+    accounting — the paper's adaptivity measure — needs no replay.
+    """
+    phase = getattr(payload, "phase", None)
+    return phase if isinstance(phase, int) else None
 
 
 @dataclass(frozen=True)
@@ -64,6 +90,9 @@ class WordRecord:
     scope: str
     payload_type: str
     sender_correct: bool
+    phase: int | None = None
+    """Protocol phase of the payload, when it advertises one — the unit
+    of the paper's adaptivity accounting (silent phases cost nothing)."""
 
 
 @dataclass
@@ -81,22 +110,23 @@ class WordLedger:
         payload: object,
         scope: str,
         sender_correct: bool,
-    ) -> None:
+    ) -> WordRecord | None:
         if sender == receiver:
             # Local self-delivery is not network communication.
-            return
-        self.records.append(
-            WordRecord(
-                tick=tick,
-                sender=sender,
-                receiver=receiver,
-                words=payload_words(payload),
-                signatures=payload_signatures(payload),
-                scope=scope,
-                payload_type=type(payload).__name__,
-                sender_correct=sender_correct,
-            )
+            return None
+        record = WordRecord(
+            tick=tick,
+            sender=sender,
+            receiver=receiver,
+            words=payload_words(payload),
+            signatures=payload_signatures(payload),
+            scope=scope,
+            payload_type=type(payload).__name__,
+            sender_correct=sender_correct,
+            phase=payload_phase(payload),
         )
+        self.records.append(record)
+        return record
 
     # ------------------------------------------------------------------
     # Aggregations
@@ -128,6 +158,21 @@ class WordLedger:
             if correct_only and not r.sender_correct:
                 continue
             totals[r.scope] += r.words
+        return dict(totals)
+
+    def words_by_phase(self, correct_only: bool = True) -> dict[int, int]:
+        """Words attributed to each protocol phase (adaptivity accounting).
+
+        Only records whose payload advertises a ``phase`` contribute; a
+        phase that never appears sent nothing — exactly the paper's
+        silent phase.
+        """
+        totals: dict[int, int] = defaultdict(int)
+        for r in self.records:
+            if correct_only and not r.sender_correct:
+                continue
+            if r.phase is not None:
+                totals[r.phase] += r.words
         return dict(totals)
 
     def words_by_payload_type(self, correct_only: bool = True) -> dict[str, int]:

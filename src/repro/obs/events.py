@@ -1,0 +1,50 @@
+"""Structured JSONL event log.
+
+Each event is one JSON object per line: a monotone sequence number, the
+observer's clock reading (ticks in simulated runs, seconds otherwise),
+a name, and arbitrary JSON-compatible fields.  Unlike the protocol
+:class:`~repro.runtime.trace.Trace` — which is part of a run's semantic
+output and gets fingerprinted by the model checker — the event log is
+pure telemetry: nothing in the runtimes ever reads it back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce one field value to something JSON can carry losslessly."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class EventLog:
+    """An append-only list of structured events."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def append(self, name: str, at: float, **fields: Any) -> None:
+        event = {"seq": len(self.events), "at": at, "name": name}
+        for key, value in fields.items():
+            event[key] = _jsonable(value)
+        self.events.append(event)
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(event) + "\n" for event in self.events)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_jsonl())
+        return path

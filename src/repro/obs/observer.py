@@ -1,0 +1,203 @@
+"""The observer facade every runtime threads its telemetry through.
+
+Three operating points, chosen by the caller:
+
+* ``observer=None`` (the default everywhere) — the runtimes skip every
+  instrumentation branch; this is the uninstrumented baseline.
+* :class:`NullObserver` — instrumentation *wired but disabled*.  Its
+  ``enabled`` flag is ``False``, and every runtime collapses it to the
+  ``None`` fast path at construction time, so a disabled observer costs
+  one attribute check per hot-path call site.  The overhead benchmark
+  (``benchmarks/bench_obs_overhead.py``) holds this within 5% of the
+  baseline.
+* :class:`Observer` — full recording: a
+  :class:`~repro.obs.registry.MetricsRegistry`, a JSONL
+  :class:`~repro.obs.events.EventLog`, and timing spans.
+
+Clocks and determinism
+----------------------
+
+``Observer(clock=None)`` (the default) runs on *simulated* time: the
+runtimes call :meth:`Observer.set_time` with the current tick, spans
+measure tick deltas, and no wall clock is ever read — so attaching an
+observer to a simulated or model-checked run changes nothing about the
+run and produces byte-identical telemetry across repeats.  Pass
+``clock=time.perf_counter`` (or :meth:`Observer.wall`) for real-time
+runs (asyncio, TCP, CLI hot-spot profiling), where spans report
+seconds.
+
+Observers record; they never steer.  No runtime reads observer state to
+make a decision, which is why the model checker's exploration results
+are identical with and without one attached (``tests/test_obs.py``
+proves it).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.obs.events import EventLog
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    DURATION_BUCKETS,
+    MetricsRegistry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.metrics.words import WordRecord
+
+
+class Observer:
+    """Collects metrics, events, and spans for one run."""
+
+    enabled: bool = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.registry = MetricsRegistry()
+        self.events = EventLog()
+        self._clock = clock
+        self._now = 0.0  # simulated clock, advanced by the runtimes
+
+    @classmethod
+    def wall(cls) -> "Observer":
+        """An observer on real time (spans in seconds)."""
+        return cls(clock=time.perf_counter)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    def time(self) -> float:
+        return self._clock() if self._clock is not None else self._now
+
+    def set_time(self, now: float) -> None:
+        """Advance the simulated clock (ignored when a real clock is
+        installed — ticks still arrive via :meth:`on_tick` counters)."""
+        self._now = float(now)
+
+    # ------------------------------------------------------------------
+    # Generic recording surface
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value: float, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        self.registry.histogram(name, buckets).observe(value)
+
+    def event(self, name: str, **fields: Any) -> None:
+        self.events.append(name, at=self.time(), **fields)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block; durations land in ``span.<name>`` (seconds on a
+        real clock, ticks on the simulated one)."""
+        buckets = DURATION_BUCKETS if self._clock is not None else DEFAULT_BUCKETS
+        start = self.time()
+        try:
+            yield
+        finally:
+            self.observe(f"span.{name}", self.time() - start, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Runtime hooks (called by scheduler / asyncio runner / transports)
+    # ------------------------------------------------------------------
+
+    def on_tick(self, tick: int) -> None:
+        self._now = float(tick) if self._clock is None else self._now
+        self.count("sim.ticks")
+
+    def on_send(self, record: "WordRecord") -> None:
+        """Account one billed send (the ledger's view of it)."""
+        self.count("words.total", record.words)
+        self.count("messages.total")
+        if record.signatures:
+            self.count("signatures.total", record.signatures)
+        origin = "correct" if record.sender_correct else "byzantine"
+        self.count(f"words.{origin}", record.words)
+        self.count(f"words.scope.{record.scope}", record.words)
+        if record.phase is not None:
+            self.count(f"words.phase.{record.phase}", record.words)
+
+    def on_fault(self, kind: str, amount: int = 1) -> None:
+        """Account one injected fault (``dropped``/``duplicated``/
+        ``delayed``/``reset``)."""
+        self.count(f"faults.{kind}", amount)
+
+    def on_transport(self, kind: str, amount: int = 1) -> None:
+        """Account one transport-level incident (e.g. ``reconnected``)."""
+        self.count(f"transport.{kind}", amount)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered, JSON-compatible state dump."""
+        return {"metrics": self.registry.snapshot(), "events": len(self.events)}
+
+    def write_events(self, path: "str | Path") -> "Path":
+        return self.events.write_jsonl(path)
+
+
+class NullObserver(Observer):
+    """Instrumentation wired but switched off.
+
+    ``enabled=False`` tells every runtime to collapse this to the
+    uninstrumented fast path at construction time; the no-op methods
+    below cover direct callers (CLI helpers, user code) that invoke the
+    recording surface unconditionally.
+    """
+
+    enabled = False
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(
+        self, name: str, value: float, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        yield
+
+    def on_tick(self, tick: int) -> None:
+        pass
+
+    def on_send(self, record: "WordRecord") -> None:
+        pass
+
+    def on_fault(self, kind: str, amount: int = 1) -> None:
+        pass
+
+    def on_transport(self, kind: str, amount: int = 1) -> None:
+        pass
+
+
+def active_or_none(observer: Observer | None) -> Observer | None:
+    """Collapse disabled observers to ``None`` — the hot-path contract.
+
+    Runtimes call this once at construction; afterwards every call site
+    is a plain ``if obs is not None`` check, which is what keeps the
+    disabled configuration within noise of the uninstrumented baseline.
+    """
+    if observer is not None and observer.enabled:
+        return observer
+    return None

@@ -36,6 +36,11 @@ class RunResult:
     Safety properties are meaningful on a truncated result; termination
     is not."""
 
+    observer: Any = None
+    """The :class:`~repro.obs.observer.Observer` that watched the run
+    (``None`` when the simulation ran uninstrumented).  Telemetry only —
+    nothing in a result's semantics depends on it."""
+
     # ------------------------------------------------------------------
     # Convenience accessors used throughout tests and benchmarks
     # ------------------------------------------------------------------

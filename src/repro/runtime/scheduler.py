@@ -25,6 +25,7 @@ from repro.crypto.certificates import CryptoSuite
 from repro.errors import SchedulerError, TerminationViolation
 from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.words import WordLedger
+from repro.obs.observer import Observer, active_or_none
 from repro.runtime.byzantine import ByzantineApi, ByzantineBehavior
 from repro.runtime.context import ProcessContext
 from repro.runtime.envelope import Envelope
@@ -59,6 +60,7 @@ class Simulation:
         fault_plan: FaultPlan | None = None,
         choices: "ChoiceSource | None" = None,
         stop_on_horizon: bool = False,
+        observer: Observer | None = None,
     ) -> None:
         """``inbox_order``: ``"sender"`` (default) delivers each tick's
         inbox sorted by sender id; ``"random"`` applies a seeded shuffle
@@ -85,7 +87,14 @@ class Simulation:
         exceeds ``max_ticks``, stop and return a
         :class:`~repro.runtime.result.RunResult` with
         ``truncated=True`` — bounded model checking verifies safety on
-        such runs and claims termination only for complete ones."""
+        such runs and claims termination only for complete ones.
+
+        ``observer``: an :class:`~repro.obs.observer.Observer` fed with
+        per-tick, per-send, and per-fault telemetry.  Observers record;
+        they never steer — the run's outcome, trace, and model-checking
+        fingerprints are identical with or without one.  A disabled
+        (:class:`~repro.obs.observer.NullObserver`) observer collapses
+        to the uninstrumented fast path here."""
         if type(seed) is not int:
             raise SchedulerError(
                 f"seed must be an int, got {type(seed).__name__} {seed!r}"
@@ -122,6 +131,7 @@ class Simulation:
         else:
             self._injector = None
         self.stop_on_horizon = stop_on_horizon
+        self.observer = active_or_none(observer)
         self.tick_hook: TickHook | None = None
         self.tick = 0
         self._factories: dict[ProcessId, ProtocolFactory] = {}
@@ -204,7 +214,7 @@ class Simulation:
             sent_at=self.tick,
             delivered_at=self.tick + 1,
         )
-        self.ledger.record(
+        record = self.ledger.record(
             tick=self.tick,
             sender=sender,
             receiver=to,
@@ -212,10 +222,21 @@ class Simulation:
             scope=scope,
             sender_correct=sender_correct,
         )
+        obs = self.observer
+        if obs is not None and record is not None:
+            obs.on_send(record)
         if self._injector is None:
             copies = [0.0]
         else:  # the ledger bills the *send*; faults act on the wire
             copies = self._injector.copies(sender, to, self.tick, payload=payload)
+            if obs is not None:
+                if not copies:
+                    obs.on_fault("dropped")
+                else:
+                    if len(copies) > 1:
+                        obs.on_fault("duplicated", len(copies) - 1)
+                    if any(delay > 0 for delay in copies):
+                        obs.on_fault("delayed")
         for delay in copies:
             self._due.setdefault(self.tick + 1, []).append((delay, envelope))
         if self.record_envelopes:
@@ -250,6 +271,8 @@ class Simulation:
         truncated = False
 
         while generators:
+            if self.observer is not None:
+                self.observer.on_tick(self.tick)
             if self.tick > self.max_ticks:
                 if self.stop_on_horizon:
                     truncated = True
@@ -273,6 +296,8 @@ class Simulation:
                         scope="adversary",
                         name="corrupted",
                     )
+                    if self.observer is not None:
+                        self.observer.event("corrupted", pid=pid, tick=self.tick)
 
             deliveries = self._due.pop(self.tick, [])
             pending: dict[ProcessId, list[tuple[float, Envelope]]] = {}
@@ -320,6 +345,8 @@ class Simulation:
                     halted_at[pid] = self.tick
                     del generators[pid]
                     del contexts[pid]
+                    if self.observer is not None:
+                        self.observer.event("decided", pid=pid, tick=self.tick)
 
             if generators:  # adversary acts only while the run is live
                 rushing = [e for _, e in self._due.get(self.tick + 1, [])]
@@ -339,6 +366,10 @@ class Simulation:
 
             self.tick += 1
 
+        if self.observer is not None:
+            self.observer.gauge("sim.final_tick", self.tick)
+            if truncated:
+                self.observer.event("truncated", tick=self.tick)
         return RunResult(
             config=self.config,
             decisions=decisions,
@@ -349,6 +380,7 @@ class Simulation:
             halted_at=halted_at,
             envelopes=tuple(self.envelopes),
             truncated=truncated,
+            observer=self.observer,
         )
 
     def _validate_population(self) -> None:

@@ -48,7 +48,7 @@ class TestRoundTrip:
     def test_valid_json_on_disk(self, result, tmp_path):
         path = save_run(result, tmp_path / "run.json")
         raw = json.loads(path.read_text())
-        assert raw["format_version"] == 1
+        assert raw["format_version"] == 2
         assert raw["summary"]["fallback_used"] == result.fallback_was_used()
 
     def test_flows_work_on_loaded_runs(self, result, tmp_path):

@@ -131,6 +131,53 @@ class TestFaultPlan:
         from one seed via the same ``seed ^ tag`` idiom."""
         assert derive_rng(3, 0x1B0C).random() == derive_rng(3, 0x1B0C).random()
 
+    def test_zero_duplicate_cap_is_a_pure_noop(self):
+        """Regression: a fired duplicate verdict with ``max_duplicates=0``
+        must yield zero extra copies AND leave every other stream (delay)
+        exactly as a duplicate-free plan would."""
+        capped = FaultPlan(
+            seed=6, duplicate_rate=1.0, max_duplicates=0, delay_rate=1.0
+        )
+        uncapped = dataclasses.replace(capped, max_duplicates=2)
+        quiet = dataclasses.replace(capped, duplicate_rate=0.0)
+        for t in range(20):
+            for s in range(3):
+                with_cap = capped.decide(0, 1, t, s)
+                assert with_cap.duplicates == 0
+                assert with_cap.copies() == [with_cap.delay]
+                # Delay stream is independent of the duplicate config.
+                assert with_cap.delay == uncapped.decide(0, 1, t, s).delay
+                assert with_cap.delay == quiet.decide(0, 1, t, s).delay
+
+    def test_verdict_streams_pinned_across_rate_toggles(self):
+        """Regression: each verdict consumes a fixed number of draws, so
+        toggling one fault type's rate never shifts the streams another
+        fault type sees."""
+        base = FaultPlan(seed=9, duplicate_rate=0.4, delay_rate=0.6)
+        with_drops = dataclasses.replace(base, drop_rate=0.5)
+        coords = [(t, s) for t in range(40) for s in range(3)]
+        for t, s in coords:
+            a = base.decide(0, 1, t, s)
+            b = with_drops.decide(0, 1, t, s)
+            assert (a.duplicates, a.delay) == (b.duplicates, b.delay)
+        # ... and toggling duplicates never shifts the drop/delay streams.
+        no_dups = dataclasses.replace(with_drops, duplicate_rate=0.0)
+        for t, s in coords:
+            a = with_drops.decide(0, 1, t, s)
+            b = no_dups.decide(0, 1, t, s)
+            assert (a.drop, a.delay) == (b.drop, b.delay)
+        # Something actually fired in each stream, or the test is vacuous.
+        fired = [with_drops.decide(0, 1, t, s) for t, s in coords]
+        assert any(d.drop for d in fired)
+        assert any(d.duplicates for d in fired)
+        assert any(d.delay for d in fired)
+
+    def test_duplicate_counts_stay_within_cap(self):
+        plan = FaultPlan(seed=2, duplicate_rate=1.0, max_duplicates=3)
+        counts = {plan.decide(0, 1, t, 0).duplicates for t in range(200)}
+        assert counts <= {1, 2, 3}
+        assert len(counts) > 1  # the count draw actually varies
+
 
 class TestFaultInjector:
     def test_seq_numbers_make_same_tick_sends_independent(self):
