@@ -103,13 +103,30 @@ def run_pipelined_smr(
     seed: int = 0,
     byzantine: dict[ProcessId, Any] | None = None,
     max_ticks: int = 500_000,
+    params: "RunParameters | None" = None,
 ):
-    """Drive a pipelined SMR run over the simulator."""
+    """Drive a pipelined SMR run over the simulator.
+
+    ``params`` threads the shared run knobs (fault plan with scheduled
+    crash/restart faults, observer, recovery manager) through the
+    pipeline — a crashed replica replays its WAL and rejoins with its
+    in-flight window reconstructed."""
+    from repro.config import RunParameters
     from repro.runtime.scheduler import Simulation
 
     byzantine = byzantine or {}
     queues = assign_queues(workloads, config)
-    simulation = Simulation(config, seed=seed, max_ticks=max_ticks)
+    params = params or RunParameters(max_ticks=max_ticks)
+    simulation = Simulation(
+        config, seed=seed, max_ticks=params.max_ticks,
+        fault_plan=params.fault_plan, observer=params.observer,
+        recovery=params.recovery,
+    )
+    if params.recovery is not None:
+        params.recovery.describe(
+            protocol="pipelined_smr", num_slots=num_slots,
+            window=window, batch_size=batch_size,
+        )
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])

@@ -112,23 +112,37 @@ def run_smr(
     seed: int = 0,
     byzantine: dict[ProcessId, Any] | None = None,
     max_ticks: int = 500_000,
+    params: "RunParameters | None" = None,
 ):
     """Drive a full SMR run over the simulator.
 
     ``commands[pid]`` is the queue replica ``pid`` proposes from in its
     sender slots.  Returns the
     :class:`~repro.runtime.result.RunResult`; each correct replica's
-    decision is its :class:`SmrOutcome`.
+    decision is its :class:`SmrOutcome`.  ``params`` threads the shared
+    run knobs (fault plan with crash/restart faults, observer, recovery
+    manager) through the long-lived service — a crashed replica replays
+    its WAL, re-derives its log and store, and rejoins mid-slot.
     """
+    from repro.config import RunParameters
     from repro.runtime.scheduler import Simulation
 
     byzantine = byzantine or {}
-    simulation = Simulation(config, seed=seed, max_ticks=max_ticks)
+    params = params or RunParameters(max_ticks=max_ticks)
+    simulation = Simulation(
+        config, seed=seed, max_ticks=params.max_ticks,
+        fault_plan=params.fault_plan, observer=params.observer,
+        recovery=params.recovery,
+    )
+    if params.recovery is not None:
+        params.recovery.describe(protocol="smr", num_slots=num_slots)
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])
         else:
             queue = tuple(commands.get(pid, ()))
+            if params.recovery is not None:
+                params.recovery.describe_process(pid, commands=queue)
             simulation.add_process(
                 pid,
                 lambda ctx, q=queue: smr_replica_protocol(ctx, q, num_slots),

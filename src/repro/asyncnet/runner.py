@@ -24,6 +24,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterator
 
+from typing import TYPE_CHECKING
+
 from repro.config import ProcessId, SystemConfig
 from repro.crypto.certificates import CryptoSuite
 from repro.crypto.keys import Signer
@@ -33,6 +35,10 @@ from repro.metrics.words import WordLedger
 from repro.obs.observer import Observer, active_or_none
 from repro.runtime.envelope import Envelope
 from repro.runtime.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.manager import RecoveryManager
+    from repro.recovery.replay import ReplayCursor
 
 
 @dataclass
@@ -47,6 +53,9 @@ class AsyncRunResult:
     elapsed: float
     observer: Observer | None = None
     """Telemetry observer that watched the run (``None`` = uninstrumented)."""
+
+    recovered: frozenset[ProcessId] = frozenset()
+    """Processes that crashed, replayed their WAL, and rejoined."""
 
     @property
     def correct_words(self) -> int:
@@ -96,7 +105,13 @@ class AsyncNetwork:
         latency: float = 0.0,
         fault_plan: FaultPlan | None = None,
         observer: Observer | None = None,
+        recovery: "RecoveryManager | None" = None,
     ) -> None:
+        if fault_plan is not None and fault_plan.crashes and recovery is None:
+            raise SchedulerError(
+                "the fault plan schedules crash/restart faults but the "
+                "network has no RecoveryManager (pass recovery=...)"
+            )
         if latency >= tick_duration:
             raise SchedulerError(
                 f"latency ({latency}) must stay below the synchrony bound "
@@ -120,8 +135,10 @@ class AsyncNetwork:
         self.ledger = WordLedger()
         self.trace = Trace()
         self.observer = active_or_none(observer)
+        self.recovery = recovery
         self.queues: dict[ProcessId, asyncio.Queue] = {}
         self.corrupted: set[ProcessId] = set()
+        self.recovered: set[ProcessId] = set()
         self.global_tick = 0
 
     def queue_for(self, pid: ProcessId) -> asyncio.Queue:
@@ -157,6 +174,14 @@ class AsyncNetwork:
         obs = self.observer
         if obs is not None and record is not None:
             obs.on_send(record)
+        if (
+            self.recovery is not None
+            and record is not None
+            and sender not in self.corrupted
+        ):
+            # Highwater marks count billed sends only (self-delivery is
+            # free), keeping replay comparable to the word ledger.
+            self.recovery.on_send(sender, tick)
         envelope = Envelope(
             sender=sender,
             receiver=to,
@@ -198,6 +223,7 @@ class AsyncContext:
         self._pid = pid
         self._tick = 0
         self._scopes: list[str] = []
+        self._replay: "ReplayCursor | None" = None
         self.inbox: list[Envelope] = []
         self.rng = random.Random((network.seed * 1_000_003 + pid) & 0xFFFFFFFF)
 
@@ -219,6 +245,8 @@ class AsyncContext:
 
     @property
     def now(self) -> int:
+        if self._replay is not None:
+            return self._replay.tick
         return self._tick
 
     @property
@@ -226,6 +254,10 @@ class AsyncContext:
         return "/".join(self._scopes) or "top"
 
     def send(self, to: ProcessId, payload: object) -> None:
+        if self._replay is not None:
+            if to != self._pid:  # self-delivery is free, never billed
+                self._replay.note_send()
+            return
         self._network.post(
             self._pid, to, payload, tick=self._tick, scope=self.scope_path
         )
@@ -237,6 +269,9 @@ class AsyncContext:
             self.send(to, payload)
 
     def emit(self, name: str, **data: Any) -> None:
+        if self._replay is not None:
+            self._replay.note_event()
+            return
         self._network.trace.emit(
             tick=self._tick,
             pid=self._pid,
@@ -244,6 +279,12 @@ class AsyncContext:
             name=name,
             **data,
         )
+        recovery = self._network.recovery
+        if recovery is not None:
+            recovery.on_event(
+                self._pid, self._tick, self.scope_path, name,
+                tuple(sorted(data.items())),
+            )
 
     @contextmanager
     def scope(self, name: str) -> Iterator[None]:
@@ -252,6 +293,18 @@ class AsyncContext:
             yield
         finally:
             self._scopes.pop()
+
+    # -- crash recovery (see repro.recovery.replay) ----------------------
+
+    def begin_replay(self, cursor: "ReplayCursor") -> None:
+        self._replay = cursor
+
+    def end_replay(self) -> None:
+        self._replay = None
+
+    @property
+    def replaying(self) -> bool:
+        return self._replay is not None
 
     def sleep(self, ticks: int) -> Generator[None, None, list[Envelope]]:
         collected: list[Envelope] = []
@@ -268,6 +321,33 @@ class AsyncContext:
     def advance(self, envelopes: list[Envelope]) -> None:
         self._tick += 1
         self.inbox = envelopes
+
+    def rejoin(self, tick: int, envelopes: list[Envelope]) -> None:
+        """Pin a freshly replayed context to the live clock."""
+        self._tick = tick
+        self.inbox = envelopes
+
+
+def _drain_due(
+    queue: "asyncio.Queue[Envelope]", pending: list[Envelope], tick: int
+) -> list[Envelope]:
+    """Drain ``queue`` and return the envelopes due by round ``tick``.
+
+    On a shared event loop a peer that wakes first at a round boundary
+    can get its round-``tick`` sends enqueued *before* this process
+    drains its inbox for round ``tick`` — wall-clock arrival order is
+    not a round number, and which task wins that race varies run to run.
+    Partitioning on the envelope's ``delivered_at`` stamp makes round
+    membership deterministic on the early side: an early arrival waits
+    in ``pending`` for its due round.  A genuine straggler (arriving
+    after its due round was collected) still joins the first round after
+    it lands, which only the synchrony bound can prevent.
+    """
+    while not queue.empty():
+        pending.append(queue.get_nowait())
+    due = [e for e in pending if e.delivered_at <= tick]
+    pending[:] = [e for e in pending if e.delivered_at > tick]
+    return due
 
 
 async def _drive_process(
@@ -287,20 +367,140 @@ async def _drive_process(
     ctx = AsyncContext(network, pid)
     generator = factory(ctx)
     queue = network.queue_for(pid)
+    recovery = network.recovery
+    plan = network.fault_plan
+    crashes = (
+        sorted(
+            (c for c in plan.crashes if c.pid == pid),
+            key=lambda c: c.at_tick,
+        )
+        if plan is not None
+        else []
+    )
     tick_index = 0
+    pending: list[Envelope] = []
     while True:
+        if crashes and tick_index == crashes[0].at_tick:
+            crash = crashes.pop(0)
+            revived = await _crash_and_recover(
+                network, pid, factory, crash, start_time,
+                make_ctx=lambda: AsyncContext(network, pid),
+                pending=pending,
+            )
+            if revived[0] is None:  # the protocol completed during replay
+                return pid, revived[1]
+            generator, ctx = revived
+            tick_index = crash.restart_tick
+        if recovery is not None:
+            recovery.on_inbox(pid, tick_index, ctx.inbox)
         try:
             next(generator)
         except StopIteration as stop:
+            if recovery is not None:
+                recovery.flush(pid)
             return pid, stop.value
+        if recovery is not None:
+            # One fsync batch per round, after the round's sends: the
+            # inbox and the send highwater marks it produced become
+            # durable together (the tick scheduler's end_tick cadence).
+            recovery.flush(pid)
         tick_index += 1
         delay = start_time + tick_index * network.tick_duration - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
-        envelopes: list[Envelope] = []
-        while not queue.empty():
-            envelopes.append(queue.get_nowait())
-        ctx.advance(network.order_inbox(pid, tick_index, envelopes))
+        ctx.advance(
+            network.order_inbox(
+                pid, tick_index, _drain_due(queue, pending, tick_index)
+            )
+        )
+
+
+async def _crash_and_recover(
+    network: AsyncNetwork,
+    pid: ProcessId,
+    factory: Callable[[AsyncContext], Generator[None, None, Any]],
+    crash: Any,
+    start_time: float,
+    *,
+    make_ctx: Callable[[], AsyncContext],
+    pending: list[Envelope],
+    on_down: Callable[[], Any] | None = None,
+    on_up: Callable[[], Any] | None = None,
+):
+    """Take ``pid`` down for ``[at_tick, restart_tick)`` and rejoin it.
+
+    Deliveries that land while the process is down are discarded at each
+    round boundary except the last — a message sent during round
+    ``restart_tick - 1`` is due at ``restart_tick``, when the process is
+    back up (matching the tick scheduler's semantics).  Rejoin replays
+    the WAL with sends suppressed, then pins the fresh context to the
+    live clock.
+
+    ``make_ctx`` builds the transport-appropriate fresh context;
+    ``on_down`` / ``on_up`` are optional async hooks for transports with
+    machine state to tear down and re-establish (the TCP node closes its
+    outgoing sessions on crash and re-dials peers with a bumped epoch on
+    restart).
+
+    Returns ``(generator, ctx)``; when the protocol completed during
+    replay, returns ``(None, decision)`` instead.
+    """
+    from repro.recovery.replay import replay_generator
+
+    loop = asyncio.get_running_loop()
+    queue = network.queue_for(pid)
+    recovery = network.recovery
+    obs = network.observer
+    recovery.on_crash(pid, crash.at_tick)
+    network.trace.emit(
+        tick=crash.at_tick, pid=pid, scope="faults", name="crashed"
+    )
+    if obs is not None:
+        obs.event("crashed", pid=pid, tick=crash.at_tick)
+        obs.on_recovery("crash")
+    if on_down is not None:
+        await on_down()
+    pending.clear()  # held-over deliveries die with the down window
+    for k in range(crash.at_tick, crash.restart_tick):
+        delay = start_time + (k + 1) * network.tick_duration - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if k + 1 < crash.restart_tick:
+            while not queue.empty():  # lost while down
+                queue.get_nowait()
+    if on_up is not None:
+        await on_up()
+    recovery.on_restart(pid, crash.restart_tick, crash.at_tick)
+    history = recovery.load(pid)
+    ctx = make_ctx()
+    generator, report = replay_generator(
+        factory, ctx, history, until_tick=crash.restart_tick
+    )
+    recovery.note_replay(report)
+    network.recovered.add(pid)
+    network.trace.emit(
+        tick=crash.restart_tick, pid=pid, scope="faults", name="recovered",
+        replayed_ticks=report.ticks_replayed,
+        replayed_sends=report.sends_replayed,
+    )
+    if obs is not None:
+        obs.event(
+            "recovered", pid=pid, tick=crash.restart_tick,
+            replayed_ticks=report.ticks_replayed,
+        )
+        obs.on_recovery("restart")
+        obs.on_recovery("replayed_ticks", report.ticks_replayed)
+    if report.decided:
+        return None, report.decision
+    ctx.rejoin(
+        crash.restart_tick,
+        network.order_inbox(
+            pid,
+            crash.restart_tick,
+            _drain_due(queue, pending, crash.restart_tick),
+        ),
+    )
+    return generator, ctx
 
 
 class _AsyncByzantineApi:
@@ -393,6 +593,7 @@ async def run_async(
     byzantine: dict[ProcessId, Any] | None = None,
     fault_plan: FaultPlan | None = None,
     observer: Observer | None = None,
+    recovery: "RecoveryManager | None" = None,
 ) -> AsyncRunResult:
     """Run one protocol instance over asyncio.
 
@@ -402,7 +603,10 @@ async def run_async(
     interface the deterministic simulator uses (minus rushing
     visibility — real transports don't offer it); ``fault_plan``
     deterministically drops / duplicates / delays / reorders messages
-    (see :mod:`repro.faults`).
+    (see :mod:`repro.faults`); ``recovery`` gives every correct process
+    a write-ahead log and is required when the plan schedules
+    crash/restart faults (the crashed task discards its generator, goes
+    silent for the down window, replays its WAL, and rejoins).
     """
     byzantine = byzantine or {}
     loop = asyncio.get_running_loop()
@@ -414,7 +618,10 @@ async def run_async(
         latency=latency,
         fault_plan=fault_plan,
         observer=observer,
+        recovery=recovery,
     )
+    if recovery is not None:
+        recovery.describe(n=config.n, t=config.t, seed=seed)
     network.corrupted = set(crashed) | set(byzantine)
     missing = [
         pid
@@ -445,6 +652,12 @@ async def run_async(
         for task in tasks:
             task.cancel()
         await asyncio.gather(*tasks, *behavior_tasks, return_exceptions=True)
+        if recovery is not None:
+            recovery.close()
+            if network.observer is not None:
+                network.observer.gauge(
+                    "recovery.wal_bytes", recovery.wal_bytes()
+                )
     return AsyncRunResult(
         config=config,
         decisions=dict(results),
@@ -453,4 +666,5 @@ async def run_async(
         trace=network.trace,
         elapsed=loop.time() - started,
         observer=network.observer,
+        recovered=frozenset(network.recovered),
     )

@@ -30,6 +30,25 @@ Transport robustness
   reorders per-round inboxes; decisions depend only on
   ``(seed, edge, tick, seq)``, so same-seed runs suffer identical
   faults despite real-socket timing.
+* **Session resumption** — every outgoing link carries a session:
+  the sender opens with ``("hello", pid, epoch)``, the receiver answers
+  ``("ack", floor | None)``, and data flows as
+  ``("msg", epoch, seq, envelope)`` frames.  The hello costs the sender
+  *zero round trips*: data frames follow it immediately (the stream
+  orders them behind it), the ack is consumed asynchronously, and only
+  then is the unacked tail retransmitted.  The receiver deduplicates
+  through a per-``(sender, epoch)`` receive window (contiguous ``floor``
+  plus an out-of-order set), so the deferred retransmission can race
+  fresh frames without double-delivering — and nothing ever double-bills
+  (words are billed exactly once, at the protocol-level send).  A
+  rejoining process re-announces itself with a *bumped epoch*: receivers
+  reset their sequence state for the new incarnation, and an ``ack
+  None`` (the receiver lost its session state, i.e. it restarted) makes
+  the sender drop its retransmit buffer — frames in flight toward a
+  crashed machine are lost, exactly as the tick scheduler models a down
+  window.  Reconnects are *eager* (kicked off the moment the ack loop
+  sees the transport die) so the dial usually happens off the send path.
+
 
 Pickle is safe here because every endpoint is this same trusted test
 process; a production deployment would swap in a real codec — the
@@ -42,14 +61,24 @@ from __future__ import annotations
 import asyncio
 import pickle
 import struct
-from typing import Any, Callable
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
 
-from repro.asyncnet.runner import AsyncContext, AsyncNetwork, AsyncRunResult
+from repro.asyncnet.runner import (
+    AsyncContext,
+    AsyncNetwork,
+    AsyncRunResult,
+    _crash_and_recover,
+    _drain_due,
+)
 from repro.config import ProcessId, SystemConfig
 from repro.errors import SchedulerError, TerminationViolation
 from repro.faults import FaultPlan
 from repro.obs.observer import Observer
 from repro.runtime.envelope import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.manager import RecoveryManager
 
 _HEADER = struct.Struct(">I")
 
@@ -62,6 +91,13 @@ RECONNECT_ATTEMPTS = 8
 SEND_QUEUE_LIMIT = 4096
 """Frames a peer may have queued; beyond it the sender fails loudly
 (``asyncio.QueueFull``) instead of stalling or ballooning silently."""
+UNACKED_LIMIT = 1024
+"""Written-but-unacked frames a sender retains for retransmission; the
+oldest are evicted past this (a receiver that far behind will reset the
+session on reconnect anyway)."""
+ACK_EVERY = 16
+"""The receiver acks after this many delivered frames, bounding how much
+retransmit buffer its senders must retain."""
 
 
 def _encode_frame(obj: object) -> bytes:
@@ -77,19 +113,45 @@ async def _read_frame(reader: asyncio.StreamReader) -> object:
 
 
 class _Peer:
-    """One outgoing connection: bounded queue, draining writer task,
-    reconnect with capped exponential backoff."""
+    """One outgoing session: bounded queue, draining writer task,
+    reconnect with capped exponential backoff, and sequence-numbered
+    frames with retransmit-on-resume.
+
+    Every data frame is ``("msg", epoch, seq, envelope)``; ``seq`` is
+    assigned here, *below* the word ledger and the fault injector — so a
+    retransmission is invisible to word accounting (billed once, at the
+    protocol send) while an injector-ordered duplicate gets a fresh seq
+    and is genuinely delivered twice.
+    """
 
     def __init__(
         self,
         host: str,
         port: int,
+        sender_pid: ProcessId,
+        epoch: int,
         on_reconnect: Callable[[], None] | None = None,
     ) -> None:
         self.host = host
         self.port = port
-        self.queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=SEND_QUEUE_LIMIT)
+        self.sender_pid = sender_pid
+        self.epoch = epoch
+        """The sender's incarnation number; bumped on process restart and
+        re-announced in the hello so receivers reset sequence state."""
+        self.queue: asyncio.Queue[tuple[int, bytes]] = asyncio.Queue(
+            maxsize=SEND_QUEUE_LIMIT
+        )
+        self.reader: asyncio.StreamReader | None = None
         self.writer: asyncio.StreamWriter | None = None
+        self.seq = 0
+        self.unacked: deque[tuple[int, bytes]] = deque()
+        """Written-but-unacked ``(seq, frame)`` pairs, oldest first —
+        the retransmission source after a reconnect."""
+        self.retransmitted = 0
+        """Frames re-sent after reconnects (not billed as new words)."""
+        self.dropped_on_peer_restart = 0
+        """Unacked frames abandoned because the receiver answered the
+        hello with ``ack None`` — it restarted, the frames died with it."""
         self.dead = False
         """Set when the retry budget is exhausted: the host is gone, so
         further sends evaporate exactly like sends to a crashed machine."""
@@ -97,10 +159,19 @@ class _Peer:
         """Successful re-dials after a mid-run connection loss."""
         self._on_reconnect = on_reconnect
         self._pump_task: asyncio.Task | None = None
+        self._ack_task: asyncio.Task | None = None
+        self._reconnect_task: asyncio.Task | None = None
+        self._conn_lock = asyncio.Lock()
+        self._closing = False
+        self._resync = False
+        """Set by :meth:`_announce`; the first ack on the new connection
+        triggers retransmission of the surviving unacked tail."""
 
     async def connect(self) -> None:
-        """Dial the peer (with backoff) and start the writer coroutine."""
+        """Dial the peer (with backoff), announce the session, and
+        start the writer coroutine."""
         await self._dial()
+        self._announce()
         self._pump_task = asyncio.create_task(self._pump())
 
     def send(self, obj: object) -> None:
@@ -111,7 +182,11 @@ class _Peer:
         """
         if self.dead:
             return
-        self.queue.put_nowait(_encode_frame(obj))
+        seq = self.seq
+        self.seq += 1
+        self.queue.put_nowait(
+            (seq, _encode_frame(("msg", self.epoch, seq, obj)))
+        )
 
     def inject_reset(self) -> None:
         """Fault hook: abort the underlying transport mid-run, as if the
@@ -120,10 +195,14 @@ class _Peer:
             self.writer.transport.abort()
 
     async def close(self) -> None:
-        if self._pump_task is not None:
-            self._pump_task.cancel()
-            await asyncio.gather(self._pump_task, return_exceptions=True)
-            self._pump_task = None
+        self._closing = True
+        for task in (self._pump_task, self._ack_task, self._reconnect_task):
+            if task is not None:
+                task.cancel()
+                await asyncio.gather(task, return_exceptions=True)
+        self._pump_task = None
+        self._ack_task = None
+        self._reconnect_task = None
         await self._discard_writer()
 
     # ------------------------------------------------------------------
@@ -135,7 +214,9 @@ class _Peer:
         delay = RECONNECT_BASE
         for attempt in range(RECONNECT_ATTEMPTS):
             try:
-                _, self.writer = await asyncio.open_connection(self.host, self.port)
+                self.reader, self.writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
                 return
             except OSError:
                 if attempt == RECONNECT_ATTEMPTS - 1:
@@ -145,8 +226,97 @@ class _Peer:
         self.dead = True
         raise ConnectionError(f"peer {self.host}:{self.port} unreachable")
 
+    def _announce(self) -> None:
+        """Open (or resume) the session on a fresh connection: write the
+        hello and keep going — the ack is consumed *asynchronously* by
+        :meth:`_ack_loop`, so resumption costs the sender zero round
+        trips.  Data frames may flow immediately because the hello is
+        ordered ahead of them on the same stream, and the receiver's
+        out-of-order dedup window makes the deferred retransmission
+        (triggered when the ack eventually arrives) safe.
+        """
+        self.writer.write(
+            _encode_frame(("hello", self.sender_pid, self.epoch))
+        )
+        self._resync = True
+        if self._ack_task is not None:
+            self._ack_task.cancel()
+        self._ack_task = asyncio.create_task(self._ack_loop(self.reader))
+
+    async def _ack_loop(self, reader: asyncio.StreamReader) -> None:
+        """Consume in-band acks from the receiver.
+
+        ``ack floor`` (an int, cumulative) prunes the retransmit buffer;
+        the first ack after an announce additionally retransmits the
+        surviving tail — written-but-lost frames from before the
+        reconnect (the receiver's dedup window absorbs any that did make
+        it).  ``ack None`` means the receiver had no session state —
+        first contact, or it restarted and its table died with it; in
+        the restart case the unacked frames were headed for a down
+        machine, so they are dropped rather than resurrected.
+
+        When the connection dies this loop discards the dead writer and
+        starts an eager background reconnect, so by the next send the
+        link is usually live again instead of paying the dial inside a
+        delivery round.
+        """
+        try:
+            while True:
+                frame = await _read_frame(reader)
+                if not (
+                    isinstance(frame, tuple) and frame and frame[0] == "ack"
+                ):
+                    continue
+                ack = frame[1]
+                if ack is None:
+                    if self.unacked:
+                        self.dropped_on_peer_restart += len(self.unacked)
+                        self.unacked.clear()
+                    self._resync = False
+                elif isinstance(ack, int):
+                    while self.unacked and self.unacked[0][0] <= ack:
+                        self.unacked.popleft()
+                    if self._resync:
+                        self._resync = False
+                        writer = self.writer
+                        if writer is not None and self.unacked:
+                            for _, raw in self.unacked:
+                                writer.write(raw)
+                                self.retransmitted += 1
+                            await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            if self._closing or self.dead:
+                return
+            await self._discard_writer()
+            if self._reconnect_task is None or self._reconnect_task.done():
+                self._reconnect_task = asyncio.create_task(
+                    self._eager_reconnect()
+                )
+
+    async def _eager_reconnect(self) -> None:
+        """Re-establish the session off the send path after a transport
+        failure; on any error, leave the link down for the pump's
+        full retry/backoff path to handle at the next send."""
+        try:
+            await self._ensure_connected()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            await self._discard_writer()
+
+    async def _ensure_connected(self) -> None:
+        """Dial + announce if the link is down, serialized against the
+        pump so the two paths cannot open duplicate connections."""
+        async with self._conn_lock:
+            if self.writer is not None or self.dead or self._closing:
+                return
+            await self._dial()
+            self._announce()
+            self.reconnects += 1
+            if self._on_reconnect is not None:
+                self._on_reconnect()
+
     async def _discard_writer(self) -> None:
         writer, self.writer = self.writer, None
+        self.reader = None
         if writer is not None:
             writer.close()
             try:
@@ -159,27 +329,36 @@ class _Peer:
 
         Each frame is written then ``drain``-ed, so the peer's receive
         rate backpressures this sender.  A send that fails because the
-        connection dropped triggers a re-dial and the *same frame* is
-        re-sent — a reset must not lose correct-process messages (that
+        connection dropped triggers a re-dial, a session handshake (which
+        retransmits everything written-but-unacked), and then the *same
+        frame* — a reset must not lose correct-process messages (that
         would be a drop fault, which only a :class:`FaultPlan` may
         introduce deliberately).
         """
         while True:
-            frame = await self.queue.get()
+            seq, frame = await self.queue.get()
             while not self.dead:
+                writer = None
                 try:
                     if self.writer is None:
-                        await self._dial()
-                        self.reconnects += 1
-                        if self._on_reconnect is not None:
-                            self._on_reconnect()
-                    self.writer.write(frame)
-                    await self.writer.drain()
+                        await self._ensure_connected()
+                    writer = self.writer
+                    if writer is None:
+                        if self._closing:
+                            return
+                        continue
+                    writer.write(frame)
+                    await writer.drain()
+                    self.unacked.append((seq, frame))
+                    if len(self.unacked) > UNACKED_LIMIT:
+                        self.unacked.popleft()
                     break
-                except ConnectionError:
-                    await self._discard_writer()
-                except OSError:
-                    await self._discard_writer()
+                except (ConnectionError, OSError):
+                    # Only tear down the writer this attempt used: the
+                    # eager-reconnect path may already have replaced it
+                    # with a live session.
+                    if writer is not None and self.writer is writer:
+                        await self._discard_writer()
             if self.dead:
                 return
 
@@ -197,6 +376,13 @@ class TcpProcessNode:
         self.server: asyncio.AbstractServer | None = None
         self.peers: dict[ProcessId, _Peer] = {}
         self.queue = network.queue_for(pid)
+        self.epoch = 0
+        """This process's incarnation; bumped on crash so peers can tell
+        a restarted sender from a resumed connection."""
+        self.sessions: dict[ProcessId, list[int]] = {}
+        """Receive-side dedup state, ``sender -> [epoch, last_seq]`` —
+        process memory, cleared when this process crashes."""
+        self.ports: dict[ProcessId, int] = {}
         self._handlers: set[asyncio.Task] = set()
 
     async def start_server(self) -> int:
@@ -212,11 +398,59 @@ class TcpProcessNode:
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
+        obs = self.network.observer
+        # [epoch, floor, above]: ``floor`` is the highest contiguously
+        # delivered seq, ``above`` the out-of-order seqs beyond it —
+        # a receive window, so a deferred retransmission arriving after
+        # newer frames is still recognized as a duplicate-or-gap-fill.
+        session: list | None = None
+        since_ack = 0
         try:
             while True:
-                envelope = await _read_frame(reader)
-                if isinstance(envelope, Envelope) and envelope.receiver == self.pid:
+                frame = await _read_frame(reader)
+                if not isinstance(frame, tuple) or not frame:
+                    continue
+                if frame[0] == "hello":
+                    _, sender, epoch = frame
+                    session = self.sessions.get(sender)
+                    if session is not None and session[0] == epoch:
+                        # Same incarnation resuming: tell it how far we
+                        # got so it retransmits only the gap.
+                        writer.write(_encode_frame(("ack", session[1])))
+                    else:
+                        # New incarnation (or no state — first contact,
+                        # or we restarted and lost the table): fresh
+                        # session, and the None tells the sender its
+                        # in-flight frames are unrecoverable.
+                        session = self.sessions[sender] = [epoch, -1, set()]
+                        writer.write(_encode_frame(("ack", None)))
+                    since_ack = 0
+                elif frame[0] == "msg":
+                    _, epoch, seq, envelope = frame
+                    if not (
+                        isinstance(envelope, Envelope)
+                        and envelope.receiver == self.pid
+                    ):
+                        continue
+                    if session is None or session[0] != epoch:
+                        continue  # frame from a dead incarnation
+                    if seq <= session[1] or seq in session[2]:
+                        # Retransmission of a frame that already made it
+                        # before the reconnect: deliver once, bill never.
+                        if obs is not None:
+                            obs.on_transport("deduplicated")
+                        continue
+                    session[2].add(seq)
+                    while session[1] + 1 in session[2]:
+                        session[1] += 1
+                        session[2].remove(session[1])
                     self.queue.put_nowait(envelope)
+                    since_ack += 1
+                    if since_ack >= ACK_EVERY:
+                        # No drain: acks are tiny and must not stall
+                        # the delivery loop behind reverse-path flushes.
+                        writer.write(_encode_frame(("ack", session[1])))
+                        since_ack = 0
         except (asyncio.IncompleteReadError, ConnectionResetError):
             pass  # peer closed (EOF) or reset: either way this link is done
         finally:
@@ -229,16 +463,37 @@ class TcpProcessNode:
                 pass
 
     async def connect_peers(self, ports: dict[ProcessId, int]) -> None:
+        self.ports = dict(ports)
         for peer_pid, port in ports.items():
             if peer_pid == self.pid:
                 continue
             peer = _Peer(
                 self.host,
                 port,
+                self.pid,
+                self.epoch,
                 on_reconnect=self._reconnect_recorder(peer_pid),
             )
             await peer.connect()
             self.peers[peer_pid] = peer
+
+    async def crash(self) -> None:
+        """Lose all process state: outgoing sessions (their retransmit
+        buffers die), the receive-side dedup table, and the queued inbox.
+        The server socket stays up — the *machine* is reachable, the
+        process is what restarts — so peers keep a live link and their
+        next hello meets an empty session table."""
+        peers, self.peers = dict(self.peers), {}
+        for peer in peers.values():
+            await peer.close()
+        self.sessions.clear()
+        self.epoch += 1
+        while not self.queue.empty():
+            self.queue.get_nowait()
+
+    async def rejoin(self) -> None:
+        """Re-dial every peer, announcing the bumped epoch."""
+        await self.connect_peers(self.ports)
 
     def _reconnect_recorder(self, peer_pid: ProcessId) -> Callable[[], None]:
         def record() -> None:
@@ -343,6 +598,10 @@ class _TcpContext(AsyncContext):
         self._node = node
 
     def send(self, to: ProcessId, payload: object) -> None:
+        if self._replay is not None:
+            if to != self.pid:  # self-delivery is free, never billed
+                self._replay.note_send()  # the network already saw it
+            return
         if to not in self.config.processes:
             raise SchedulerError(f"send to unknown process {to}")
         record = self._network.ledger.record(
@@ -356,6 +615,10 @@ class _TcpContext(AsyncContext):
         obs = self._network.observer
         if obs is not None and record is not None:
             obs.on_send(record)
+        if self._network.recovery is not None and record is not None:
+            # Highwater marks count billed sends only (self-delivery is
+            # free), keeping replay comparable to the word ledger.
+            self._network.recovery.on_send(self.pid, self.now)
         self._node.transmit(
             Envelope(
                 sender=self.pid,
@@ -376,20 +639,51 @@ async def _drive_tcp_process(
     loop = asyncio.get_running_loop()
     ctx = _TcpContext(network, node)
     generator = factory(ctx)
+    recovery = network.recovery
+    plan = network.fault_plan
+    crashes = (
+        sorted(
+            (c for c in plan.crashes if c.pid == node.pid),
+            key=lambda c: c.at_tick,
+        )
+        if plan is not None
+        else []
+    )
     tick_index = 0
+    pending: list[Envelope] = []
     while True:
+        if crashes and tick_index == crashes[0].at_tick:
+            crash = crashes.pop(0)
+            revived = await _crash_and_recover(
+                network, node.pid, factory, crash, start_time,
+                make_ctx=lambda: _TcpContext(network, node),
+                pending=pending,
+                on_down=node.crash,
+                on_up=node.rejoin,
+            )
+            if revived[0] is None:  # the protocol completed during replay
+                return node.pid, revived[1]
+            generator, ctx = revived
+            tick_index = crash.restart_tick
+        if recovery is not None:
+            recovery.on_inbox(node.pid, tick_index, ctx.inbox)
         try:
             next(generator)
         except StopIteration as stop:
+            if recovery is not None:
+                recovery.flush(node.pid)
             return node.pid, stop.value
+        if recovery is not None:
+            recovery.flush(node.pid)
         tick_index += 1
         delay = start_time + tick_index * network.tick_duration - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
-        envelopes: list[Envelope] = []
-        while not node.queue.empty():
-            envelopes.append(node.queue.get_nowait())
-        ctx.advance(network.order_inbox(node.pid, tick_index, envelopes))
+        ctx.advance(
+            network.order_inbox(
+                node.pid, tick_index, _drain_due(node.queue, pending, tick_index)
+            )
+        )
 
 
 async def run_over_tcp(
@@ -402,6 +696,7 @@ async def run_over_tcp(
     fault_plan: FaultPlan | None = None,
     timeout: float | None = 120.0,
     observer: "Observer | None" = None,
+    recovery: "RecoveryManager | None" = None,
 ) -> AsyncRunResult:
     """Run one protocol instance over localhost TCP sockets.
 
@@ -409,16 +704,23 @@ async def run_over_tcp(
     hear from them, exactly like a crashed machine.  ``fault_plan``
     injects deterministic message and connection faults (see
     :mod:`repro.faults`); delays must stay below the synchrony bound.
-    ``timeout`` bounds the whole run in seconds (``None`` disables it);
-    on expiry every task is cancelled, every socket is closed, and
+    ``recovery`` gives every process a write-ahead log and is required
+    when the plan schedules crash/restart faults: the crashed node loses
+    its process state (outgoing sessions, dedup table, queued inbox),
+    stays silent for the down window, then replays its WAL and re-dials
+    its peers under a bumped epoch.  ``timeout`` bounds the whole run in
+    seconds (``None`` disables it); on expiry every task is cancelled,
+    every socket is closed, and
     :class:`~repro.errors.TerminationViolation` is raised.
     """
     loop = asyncio.get_running_loop()
     started = loop.time()
     network = AsyncNetwork(
         config, seed=seed, tick_duration=tick_duration, fault_plan=fault_plan,
-        observer=observer,
+        observer=observer, recovery=recovery,
     )
+    if recovery is not None:
+        recovery.describe(n=config.n, t=config.t, seed=seed)
     network.corrupted = set(crashed)
     live = [pid for pid in config.processes if pid not in crashed]
     missing = [pid for pid in live if pid not in factories]
@@ -462,6 +764,12 @@ async def run_over_tcp(
             await node.close_outgoing()
         for node in nodes.values():
             await node.close_incoming()
+        if recovery is not None:
+            recovery.close()
+            if network.observer is not None:
+                network.observer.gauge(
+                    "recovery.wal_bytes", recovery.wal_bytes()
+                )
     return AsyncRunResult(
         config=config,
         decisions=dict(results),
@@ -470,4 +778,5 @@ async def run_over_tcp(
         trace=network.trace,
         elapsed=loop.time() - started,
         observer=network.observer,
+        recovered=frozenset(network.recovered),
     )

@@ -13,6 +13,9 @@ Usage (installed as a module entry point):
     python -m repro mc explore --adversary choose-silent --max-ticks 12
     python -m repro mc mutants
     python -m repro mc replay counterexample.json
+    python -m repro run weak-ba --n 4 --wal-dir /tmp/wal --crash 2:3:6
+    python -m repro recover inspect /tmp/wal/p2
+    python -m repro recover replay /tmp/wal/p2
 
 Every command prints the decision(s), the paper's complexity measures,
 and — where applicable — the per-layer word attribution.
@@ -89,10 +92,30 @@ def _report(result, label: str) -> None:
             print(f"    {scope:<24} {words} words")
 
 
+def _parse_crash(spec: str):
+    """Parse one ``--crash`` spec, ``PID:AT_TICK:RESTART_TICK``."""
+    from repro.faults.plan import ProcessCrash
+
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise SystemExit(
+            f"--crash wants PID:AT_TICK:RESTART_TICK, got {spec!r}"
+        )
+    try:
+        pid, at_tick, restart_tick = (int(part) for part in parts)
+    except ValueError:
+        raise SystemExit(
+            f"--crash wants three integers PID:AT_TICK:RESTART_TICK, "
+            f"got {spec!r}"
+        ) from None
+    return ProcessCrash(pid=pid, at_tick=at_tick, restart_tick=restart_tick)
+
+
 def _fault_plan(args: argparse.Namespace):
-    """Build the CLI's FaultPlan from ``--drop-rate``/``--lossy-senders``
-    (``None`` when no fault flag is set)."""
-    if not args.drop_rate and not args.lossy_senders:
+    """Build the CLI's FaultPlan from ``--drop-rate``/``--lossy-senders``/
+    ``--crash`` (``None`` when no fault flag is set)."""
+    crashes = tuple(_parse_crash(spec) for spec in (args.crash or ()))
+    if not args.drop_rate and not args.lossy_senders and not crashes:
         return None
     from repro.faults.plan import FaultPlan
 
@@ -100,6 +123,7 @@ def _fault_plan(args: argparse.Namespace):
         seed=args.fault_seed,
         drop_rate=args.drop_rate,
         lossy=frozenset(args.lossy_senders or ()),
+        crashes=crashes,
     )
 
 
@@ -123,7 +147,19 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"({sorted(plan.faulty)}) exceed t={config.t}: no property "
                 "can be promised; reduce --f or --lossy-senders"
             )
-    params = RunParameters(seed=args.seed, fault_plan=plan, observer=observer)
+    recovery = None
+    if plan is not None and plan.crashes and not args.wal_dir:
+        raise SystemExit(
+            "--crash schedules a crash/restart fault, which needs a "
+            "write-ahead log to recover from: pass --wal-dir DIR"
+        )
+    if args.wal_dir:
+        from repro.recovery import RecoveryManager
+
+        recovery = RecoveryManager(args.wal_dir, fsync=args.fsync)
+    params = RunParameters(
+        seed=args.seed, fault_plan=plan, observer=observer, recovery=recovery
+    )
     if args.protocol == "bb":
         result = run_byzantine_broadcast(
             config, sender=0, value=args.value, byzantine=byzantine,
@@ -171,6 +207,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown protocol {args.protocol}")
     _report(result, f"{args.protocol} (n={config.n}, t={config.t})")
+    if recovery is not None:
+        stats = recovery.stats
+        print(
+            f"  recovery: crashes={stats.crashes}, restarts={stats.restarts}, "
+            f"replayed_ticks={stats.replayed_ticks}, "
+            f"replay_seconds={stats.replay_seconds:.6f}, "
+            f"wal_bytes={recovery.wal_bytes()}"
+        )
+        recovered = getattr(result, "recovered", frozenset())
+        if recovered:
+            print(f"  recovered processes: {sorted(recovered)}")
+        print(
+            f"  WALs under {args.wal_dir}: "
+            + ", ".join(f"p{pid}" for pid in recovery.pids())
+        )
     if plan is not None:
         from repro.verify.checker import verify_under_plan
 
@@ -413,6 +464,94 @@ def cmd_obs_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _wal_stem(path: str):
+    """Accept a WAL stem, a ``.wal`` path, or a ``.snap`` path."""
+    from pathlib import Path
+
+    stem = Path(path)
+    if stem.suffix in (".wal", ".snap"):
+        stem = stem.with_suffix("")
+    return stem
+
+
+def cmd_recover_inspect(args: argparse.Namespace) -> int:
+    """Report what one process's durable state contains — record counts,
+    damage, metadata — without executing any protocol code."""
+    from repro.recovery import load_history, scan_wal
+
+    stem = _wal_stem(args.stem)
+    wal_path = stem.with_suffix(".wal")
+    if wal_path.exists():
+        scan = scan_wal(wal_path)
+        kinds: dict[str, int] = {}
+        for record in scan.records:
+            kind = record[0] if record else "?"
+            kinds[str(kind)] = kinds.get(str(kind), 0) + 1
+        print(
+            f"{wal_path}: {len(scan.records)} records, "
+            f"{scan.bytes_read} valid bytes"
+        )
+        for kind, count in sorted(kinds.items()):
+            print(f"  {kind:<8} x{count}")
+        if scan.damage is not None:
+            marker = "tolerable" if scan.damage.tolerable else "FATAL"
+            print(
+                f"  damage ({marker}): {scan.damage.kind} at offset "
+                f"{scan.damage.offset}: {scan.damage.detail}"
+            )
+    else:
+        print(f"{wal_path}: absent")
+    snap_path = stem.with_suffix(".snap")
+    if snap_path.exists():
+        print(f"{snap_path}: {snap_path.stat().st_size} bytes")
+    try:
+        history = load_history(stem, strict=args.strict)
+    except Exception as exc:  # RecoveryError or unreadable state
+        print(f"history: UNLOADABLE — {exc}")
+        return 1
+    print("history:")
+    for key in sorted(history.meta):
+        print(f"  meta.{key} = {history.meta[key]!r}")
+    print(f"  ticks with input: {len(history.inboxes)}")
+    print(f"  through tick: {history.through_tick}")
+    print(f"  total sends: {history.total_sends()}")
+    print(f"  events: {len(history.events)}")
+    if history.down_windows:
+        windows = ", ".join(f"[{lo}, {hi})" for lo, hi in history.down_windows)
+        print(f"  down windows: {windows}")
+    return 0
+
+
+def cmd_recover_replay(args: argparse.Namespace) -> int:
+    """Re-drive a process's protocol from its WAL and report what the
+    deterministic replay reconstructed."""
+    from repro.errors import RecoveryError
+    from repro.recovery import replay_wal
+
+    stem = _wal_stem(args.stem)
+    try:
+        report = replay_wal(stem, strict=args.strict)
+    except RecoveryError as exc:
+        print(f"replay failed: {exc}")
+        return 1
+    summary = report.summary()
+    print(f"replayed p{summary.pop('pid')} from {stem}")
+    for key in (
+        "ticks_replayed", "sends_replayed", "events_replayed",
+        "resumed_at_tick",
+    ):
+        print(f"  {key} = {summary[key]}")
+    print(f"  duration = {report.duration_seconds:.6f}s")
+    if report.down_windows:
+        windows = ", ".join(f"[{lo}, {hi})" for lo, hi in report.down_windows)
+        print(f"  down windows: {windows}")
+    if report.decided:
+        print(f"  decided: {report.decision!r}")
+    else:
+        print("  decided: not within the recorded history")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -464,6 +603,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--lossy-senders", type=int, nargs="+", default=None, metavar="PID",
         help="senders whose messages may be dropped; omit to make every "
         "edge lossy (exceeds the paper's model)",
+    )
+    run_parser.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="give every correct process a write-ahead log under DIR "
+        "(required for --crash; inspect afterwards with `repro recover`)",
+    )
+    run_parser.add_argument(
+        "--fsync", choices=["always", "batch", "never"], default="batch",
+        help="WAL durability policy (default: one fsync per tick)",
+    )
+    run_parser.add_argument(
+        "--crash", action="append", default=None, metavar="PID:AT:RESTART",
+        help="crash process PID at tick AT and restart it (from its WAL) "
+        "at tick RESTART; repeatable",
     )
     run_parser.set_defaults(func=cmd_run)
 
@@ -576,6 +729,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_validate.add_argument("paths", nargs="+", metavar="RESULT.json")
     obs_validate.set_defaults(func=cmd_obs_validate)
+
+    recover_parser = sub.add_parser(
+        "recover", help="inspect and replay per-process write-ahead logs"
+    )
+    recover_sub = recover_parser.add_subparsers(
+        dest="recover_command", required=True
+    )
+
+    inspect_parser = recover_sub.add_parser(
+        "inspect",
+        help="report a WAL's records, metadata, and any damage "
+        "(no protocol code runs)",
+    )
+    inspect_parser.add_argument(
+        "stem", metavar="STEM",
+        help="WAL stem (e.g. wal/p2), or its .wal/.snap path",
+    )
+    inspect_parser.add_argument(
+        "--strict", action="store_true",
+        help="treat a torn tail (the normal crash signature) as fatal too",
+    )
+    inspect_parser.set_defaults(func=cmd_recover_inspect)
+
+    replay_parser2 = recover_sub.add_parser(
+        "replay",
+        help="re-drive the protocol from a WAL and report the "
+        "reconstructed state",
+    )
+    replay_parser2.add_argument(
+        "stem", metavar="STEM",
+        help="WAL stem (e.g. wal/p2), or its .wal/.snap path",
+    )
+    replay_parser2.add_argument(
+        "--strict", action="store_true",
+        help="treat a torn tail (the normal crash signature) as fatal too",
+    )
+    replay_parser2.set_defaults(func=cmd_recover_replay)
 
     report_parser = sub.add_parser(
         "report", help="run the condensed claim battery, emit markdown"

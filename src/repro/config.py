@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
     from repro.obs.observer import Observer
+    from repro.recovery.manager import RecoveryManager
 
 ProcessId = int
 """Processes are identified by integers ``0 .. n-1``."""
@@ -183,6 +184,11 @@ class RunParameters:
         Optional :class:`~repro.obs.observer.Observer` threaded into the
         simulation for metrics/events/timing.  Telemetry only — a run's
         outcome is identical with or without one.
+    recovery:
+        Optional :class:`~repro.recovery.manager.RecoveryManager` giving
+        every correct process a write-ahead log.  Required when the
+        fault plan schedules crash/restart faults — a crashed process
+        can only rejoin by replaying durable state.
     """
 
     seed: int = 0
@@ -190,6 +196,7 @@ class RunParameters:
     max_ticks: int = 100_000
     fault_plan: "FaultPlan | None" = None
     observer: "Observer | None" = None
+    recovery: "RecoveryManager | None" = None
 
     def phases_for(self, config: SystemConfig) -> int:
         """Resolve ``num_phases`` against a concrete configuration."""

@@ -261,13 +261,21 @@ def run_adaptive_strong_ba(
     byzantine = byzantine or {}
     params = params or RunParameters()
     simulation = Simulation(
-        config, seed=seed, max_ticks=params.max_ticks, observer=params.observer
+        config, seed=seed, max_ticks=params.max_ticks,
+        fault_plan=params.fault_plan, observer=params.observer,
+        recovery=params.recovery,
     )
+    if params.recovery is not None:
+        params.recovery.describe(
+            protocol="adaptive_strong_ba", num_phases=params.num_phases
+        )
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])
         else:
             value = inputs[pid]
+            if params.recovery is not None:
+                params.recovery.describe_process(pid, input=value)
             simulation.add_process(
                 pid,
                 lambda ctx, v=value: adaptive_strong_ba_protocol(

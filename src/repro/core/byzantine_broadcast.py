@@ -329,7 +329,13 @@ def run_byzantine_broadcast(
     simulation = Simulation(
         config, seed=seed, max_ticks=params.max_ticks,
         fault_plan=params.fault_plan, observer=params.observer,
+        recovery=params.recovery,
     )
+    if params.recovery is not None:
+        params.recovery.describe(
+            protocol="bb", sender=sender, input=value,
+            num_phases=params.num_phases,
+        )
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])

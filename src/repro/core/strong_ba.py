@@ -360,12 +360,17 @@ def run_strong_ba(
     simulation = Simulation(
         config, seed=seed, max_ticks=params.max_ticks,
         fault_plan=params.fault_plan, observer=params.observer,
+        recovery=params.recovery,
     )
+    if params.recovery is not None:
+        params.recovery.describe(protocol="strong_ba")
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])
         else:
             value = inputs[pid]
+            if params.recovery is not None:
+                params.recovery.describe_process(pid, input=value)
             simulation.add_process(
                 pid,
                 lambda ctx, v=value: strong_ba_protocol(ctx, v),

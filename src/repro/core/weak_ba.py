@@ -751,13 +751,20 @@ def run_weak_ba(
     simulation = Simulation(
         config, seed=seed, max_ticks=params.max_ticks,
         fault_plan=params.fault_plan, observer=params.observer,
+        recovery=params.recovery,
     )
     validity = validity_factory(simulation.suite, config)
+    if params.recovery is not None:
+        params.recovery.describe(
+            protocol="weak_ba", num_phases=params.num_phases
+        )
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])
         else:
             value = inputs[pid]
+            if params.recovery is not None:
+                params.recovery.describe_process(pid, input=value)
             simulation.add_process(
                 pid,
                 lambda ctx, v=value: weak_ba_protocol(

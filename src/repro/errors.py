@@ -75,6 +75,16 @@ class ModelCheckError(ReproError):
     out-of-range scripted decision, replay divergence)."""
 
 
+class RecoveryError(ReproError):
+    """Crash recovery could not reconstruct a process's state.
+
+    Raised when a write-ahead log is damaged beyond its torn tail (CRC
+    mismatch on a complete frame, impossible frame length), when replay
+    diverges from the logged send highwater marks (the recovered state
+    machine is not the one that crashed), or when a WAL lacks the
+    metadata needed to rebuild its protocol instance."""
+
+
 class AgreementViolation(ReproError):
     """Two correct processes decided different values (test/verifier use)."""
 

@@ -139,7 +139,12 @@ def run_dolev_strong(
     simulation = Simulation(
         config, seed=seed, max_ticks=params.max_ticks,
         fault_plan=params.fault_plan, observer=params.observer,
+        recovery=params.recovery,
     )
+    if params.recovery is not None:
+        params.recovery.describe(
+            protocol="dolev_strong", sender=sender, input=value
+        )
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])

@@ -266,7 +266,10 @@ def run_fallback_ba(
     simulation = Simulation(
         config, seed=seed, max_ticks=params.max_ticks,
         fault_plan=params.fault_plan, observer=params.observer,
+        recovery=params.recovery,
     )
+    if params.recovery is not None:
+        params.recovery.describe(protocol="recursive_ba")
     for pid in config.processes:
         if pid in byzantine:
             simulation.add_byzantine(pid, byzantine[pid])

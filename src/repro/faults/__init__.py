@@ -11,6 +11,17 @@ seed, same faults — even over real sockets.
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import ConnectionReset, FaultDecision, FaultPlan
+from repro.faults.plan import (
+    ConnectionReset,
+    FaultDecision,
+    FaultPlan,
+    ProcessCrash,
+)
 
-__all__ = ["ConnectionReset", "FaultDecision", "FaultInjector", "FaultPlan"]
+__all__ = [
+    "ConnectionReset",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "ProcessCrash",
+]

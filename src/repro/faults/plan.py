@@ -96,6 +96,27 @@ class ConnectionReset:
 
 
 @dataclass(frozen=True)
+class ProcessCrash:
+    """Crash ``pid`` at the start of ``at_tick``; restart it at the
+    start of ``restart_tick`` (exclusive down window ``[at_tick,
+    restart_tick)``).
+
+    A crashed-but-honest process is *not* Byzantine: it never lies, so
+    safety properties still bind it.  But while down it is
+    omission-equivalent — it neither sends nor receives, and deliveries
+    due inside the window are lost — so it **does** count toward the
+    run's failure count ``f`` (see :attr:`FaultPlan.faulty`), exactly
+    the accounting the adaptive word bound needs.  On restart the
+    runtime replays the process's WAL (see :mod:`repro.recovery`) and
+    rejoins it tick-aligned.
+    """
+
+    pid: ProcessId
+    at_tick: int
+    restart_tick: int
+
+
+@dataclass(frozen=True)
 class FaultDecision:
     """The network's verdict on one message (one send on one edge)."""
 
@@ -142,6 +163,10 @@ class FaultPlan:
     """Senders whose every message gets the maximum sub-delta delay."""
     resets: tuple[ConnectionReset, ...] = ()
     max_duplicates: int = 2
+    crashes: tuple[ProcessCrash, ...] = ()
+    """Scheduled crash/restart faults.  Executing them requires a
+    runtime wired with a :class:`~repro.recovery.RecoveryManager` —
+    a crashed process can only rejoin from durable state."""
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "duplicate_rate", "delay_rate", "reorder_rate"):
@@ -160,6 +185,29 @@ class FaultPlan:
         for reset in self.resets:
             if reset.tick < 0:
                 raise ConfigurationError(f"reset tick must be >= 0, got {reset.tick}")
+        windows: dict[ProcessId, list[tuple[int, int]]] = {}
+        for crash in self.crashes:
+            if crash.at_tick < 1:
+                raise ConfigurationError(
+                    f"crash tick must be >= 1 (a process crashing before it "
+                    f"ever ran has nothing to recover), got {crash.at_tick}"
+                )
+            if crash.restart_tick <= crash.at_tick:
+                raise ConfigurationError(
+                    f"restart tick must be after the crash tick, got "
+                    f"crash at {crash.at_tick}, restart at {crash.restart_tick}"
+                )
+            windows.setdefault(crash.pid, []).append(
+                (crash.at_tick, crash.restart_tick)
+            )
+        for pid, intervals in windows.items():
+            intervals.sort()
+            for (_, hi), (lo, _) in zip(intervals, intervals[1:]):
+                if lo < hi:
+                    raise ConfigurationError(
+                        f"process {pid} has overlapping crash windows: "
+                        f"a process must restart before it can crash again"
+                    )
 
     # ------------------------------------------------------------------
     # Per-message decisions
@@ -174,6 +222,7 @@ class FaultPlan:
             or self.reorder_rate
             or self.slow
             or self.resets
+            or self.crashes
         )
 
     def decide(
@@ -255,9 +304,27 @@ class FaultPlan:
     @property
     def faulty(self) -> frozenset[ProcessId]:
         """Processes whose faults count toward the run's ``f`` (omission
-        senders).  Duplication, bounded delay, reordering, and connection
-        resets are *model-legal* perturbations and do not count."""
-        return self.lossy if self.drop_rate else frozenset()
+        senders and crash/restart victims — a down process is
+        omission-equivalent for its whole window).  Duplication, bounded
+        delay, reordering, and connection resets are *model-legal*
+        perturbations and do not count."""
+        faulty = set(self.lossy) if self.drop_rate else set()
+        faulty.update(crash.pid for crash in self.crashes)
+        return frozenset(faulty)
+
+    def crash_at(self, tick: int) -> tuple[ProcessCrash, ...]:
+        """Crashes scheduled to fire at the start of ``tick``."""
+        return tuple(c for c in self.crashes if c.at_tick == tick)
+
+    def restart_at(self, tick: int) -> tuple[ProcessCrash, ...]:
+        """Restarts scheduled to fire at the start of ``tick``."""
+        return tuple(c for c in self.crashes if c.restart_tick == tick)
+
+    def down_at(self, tick: int) -> frozenset[ProcessId]:
+        """Processes inside a crash window at ``tick``."""
+        return frozenset(
+            c.pid for c in self.crashes if c.at_tick <= tick < c.restart_tick
+        )
 
     def reseeded(self, seed: int) -> "FaultPlan":
         """The same fault mix under a different seed."""
@@ -279,4 +346,11 @@ class FaultPlan:
             parts.append(f"reorder={self.reorder_rate:g}")
         if self.resets:
             parts.append(f"resets={len(self.resets)}")
+        if self.crashes:
+            parts.append(
+                "crashes="
+                + ",".join(
+                    f"p{c.pid}@[{c.at_tick},{c.restart_tick})" for c in self.crashes
+                )
+            )
         return ", ".join(parts) if len(parts) > 1 else f"seed={self.seed} (pristine)"

@@ -137,6 +137,12 @@ class Observer:
         """Account one transport-level incident (e.g. ``reconnected``)."""
         self.count(f"transport.{kind}", amount)
 
+    def on_recovery(self, kind: str, amount: int = 1) -> None:
+        """Account one crash-recovery incident (``crash``/``restart``/
+        ``replayed_ticks``/``resumed_sends``...); WAL size lands in the
+        ``recovery.wal_bytes`` gauge."""
+        self.count(f"recovery.{kind}", amount)
+
     # ------------------------------------------------------------------
     # Output
     # ------------------------------------------------------------------
@@ -188,6 +194,9 @@ class NullObserver(Observer):
         pass
 
     def on_transport(self, kind: str, amount: int = 1) -> None:
+        pass
+
+    def on_recovery(self, kind: str, amount: int = 1) -> None:
         pass
 
 

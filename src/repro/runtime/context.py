@@ -28,6 +28,7 @@ from repro.crypto.keys import Signer
 from repro.runtime.envelope import Envelope
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.recovery.replay import ReplayCursor
     from repro.runtime.scheduler import Simulation
 
 
@@ -39,6 +40,7 @@ class ProcessContext:
         self._pid = pid
         self._signer: Signer = simulation.suite.signer(pid)
         self._scope_stack: list[str] = []
+        self._replay: "ReplayCursor | None" = None
         self.inbox: list[Envelope] = []
         self.rng = random.Random(
             (simulation.seed * 1_000_003 + pid) & 0xFFFFFFFF
@@ -66,7 +68,13 @@ class ProcessContext:
 
     @property
     def now(self) -> int:
-        """Current tick (the paper's ``now``); ``delta`` is one tick."""
+        """Current tick (the paper's ``now``); ``delta`` is one tick.
+
+        During WAL replay this is the *replay cursor's* tick, so
+        protocol timers ("wait until ``now + 2``") re-fire exactly as
+        they did live."""
+        if self._replay is not None:
+            return self._replay.tick
         return self._simulation.tick
 
     @property
@@ -78,7 +86,15 @@ class ProcessContext:
     # ------------------------------------------------------------------
 
     def send(self, to: ProcessId, payload: object) -> None:
-        """Send ``payload`` to ``to``; it is delivered next tick."""
+        """Send ``payload`` to ``to``; it is delivered next tick.
+
+        In replay mode the send is counted against the WAL's highwater
+        mark but never reaches the network — the cluster already
+        received it the first time."""
+        if self._replay is not None:
+            if to != self._pid:  # self-delivery is free, never billed
+                self._replay.note_send()
+            return
         self._simulation.enqueue_send(self._pid, to, payload, self.scope_path)
 
     def broadcast(self, payload: object, include_self: bool = True) -> None:
@@ -98,10 +114,43 @@ class ProcessContext:
     # ------------------------------------------------------------------
 
     def emit(self, name: str, **data: Any) -> None:
-        """Record a structured trace event."""
+        """Record a structured trace event.
+
+        Replay suppresses emission (the live run already traced the
+        event; re-emitting would double ``decided`` markers and break
+        the decide-once checker) but counts it for the replay report.
+        Live emits are mirrored into the process's WAL when the run has
+        a recovery manager — these are the logged protocol-state
+        transitions (phase entries, acquired values, certificates)."""
+        if self._replay is not None:
+            self._replay.note_event()
+            return
         self._simulation.trace.emit(
             tick=self.now, pid=self._pid, scope=self.scope_path, name=name, **data
         )
+        recovery = self._simulation.recovery
+        if recovery is not None:
+            recovery.on_event(
+                self._pid, self.now, self.scope_path, name,
+                tuple(sorted(data.items())),
+            )
+
+    # ------------------------------------------------------------------
+    # Crash recovery (driven by the scheduler's restart path)
+    # ------------------------------------------------------------------
+
+    def begin_replay(self, cursor: "ReplayCursor") -> None:
+        """Enter replay mode: ``now`` follows the cursor; sends and
+        emits are suppressed (sends still counted for highwater
+        verification)."""
+        self._replay = cursor
+
+    def end_replay(self) -> None:
+        self._replay = None
+
+    @property
+    def replaying(self) -> bool:
+        return self._replay is not None
 
     @contextmanager
     def scope(self, name: str) -> Iterator[None]:

@@ -41,6 +41,12 @@ class RunResult:
     (``None`` when the simulation ran uninstrumented).  Telemetry only —
     nothing in a result's semantics depends on it."""
 
+    recovered: frozenset[ProcessId] = frozenset()
+    """Processes that crashed, replayed their WAL, and rejoined the run.
+    Disjoint from ``corrupted``: a recovered process stayed honest the
+    whole time, so agreement and validity still bind it — but it does
+    count toward a fault plan's ``faulty`` set for word budgets."""
+
     # ------------------------------------------------------------------
     # Convenience accessors used throughout tests and benchmarks
     # ------------------------------------------------------------------

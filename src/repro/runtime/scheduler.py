@@ -34,6 +34,7 @@ from repro.runtime.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a cycle via repro.mc
     from repro.mc.choices import ChoiceSource
+    from repro.recovery.manager import RecoveryManager
 
 ProtocolFactory = Callable[[ProcessContext], Generator[None, None, Any]]
 """A correct process: ``factory(ctx)`` returns the protocol generator."""
@@ -61,6 +62,7 @@ class Simulation:
         choices: "ChoiceSource | None" = None,
         stop_on_horizon: bool = False,
         observer: Observer | None = None,
+        recovery: "RecoveryManager | None" = None,
     ) -> None:
         """``inbox_order``: ``"sender"`` (default) delivers each tick's
         inbox sorted by sender id; ``"random"`` applies a seeded shuffle
@@ -94,7 +96,17 @@ class Simulation:
         they never steer — the run's outcome, trace, and model-checking
         fingerprints are identical with or without one.  A disabled
         (:class:`~repro.obs.observer.NullObserver`) observer collapses
-        to the uninstrumented fast path here."""
+        to the uninstrumented fast path here.
+
+        ``recovery``: a :class:`~repro.recovery.manager.RecoveryManager`
+        giving every correct process a write-ahead log (per-tick
+        inboxes written before consumption, send highwater marks,
+        mirrored trace events).  Required when ``fault_plan`` schedules
+        crash/restart faults: a crashed process's generator is
+        discarded, deliveries inside its down window are lost, and at
+        the restart tick the process is rebuilt by replaying its WAL
+        (:func:`~repro.recovery.replay.replay_generator`) and rejoins
+        tick-aligned."""
         if type(seed) is not int:
             raise SchedulerError(
                 f"seed must be an int, got {type(seed).__name__} {seed!r}"
@@ -131,6 +143,18 @@ class Simulation:
         else:
             self._injector = None
         self.stop_on_horizon = stop_on_horizon
+        self.recovery = recovery
+        if fault_plan is not None and fault_plan.crashes and recovery is None:
+            raise SchedulerError(
+                "the fault plan schedules crash/restart faults but the "
+                "simulation has no RecoveryManager: a crashed process can "
+                "only rejoin by replaying durable state (pass recovery=...)"
+            )
+        if choices is not None and recovery is not None:
+            raise SchedulerError(
+                "recovery is not supported under a ChoiceSource: model-"
+                "checked runs must stay free of filesystem effects"
+            )
         self.observer = active_or_none(observer)
         self.tick_hook: TickHook | None = None
         self.tick = 0
@@ -225,6 +249,10 @@ class Simulation:
         obs = self.observer
         if obs is not None and record is not None:
             obs.on_send(record)
+        if sender_correct and record is not None and self.recovery is not None:
+            # Highwater marks count billed (network) sends only: free
+            # self-deliveries would desync replay from the word ledger.
+            self.recovery.on_send(sender, self.tick)
         if self._injector is None:
             copies = [0.0]
         else:  # the ledger bills the *send*; faults act on the wire
@@ -268,9 +296,17 @@ class Simulation:
         self._decisions = decisions
         self._halted_at = halted_at
         ever_corrupted: set[ProcessId] = set(self.corrupted_now)
+        ever_recovered: set[ProcessId] = set()
+        down: dict[ProcessId, int] = {}
+        """Crashed-but-honest pids -> tick their down window opened."""
         truncated = False
 
-        while generators:
+        if self.recovery is not None:
+            self.recovery.describe(
+                n=self.config.n, t=self.config.t, seed=self.seed
+            )
+
+        while generators or down:
             if self.observer is not None:
                 self.observer.on_tick(self.tick)
             if self.tick > self.max_ticks:
@@ -299,7 +335,48 @@ class Simulation:
                     if self.observer is not None:
                         self.observer.event("corrupted", pid=pid, tick=self.tick)
 
+            # Restarts fire before crashes so a window closing exactly
+            # where the next one opens rejoins (then re-crashes) cleanly.
+            if self.fault_plan is not None and self.fault_plan.crashes:
+                for crash in self.fault_plan.restart_at(self.tick):
+                    if crash.pid not in down:
+                        continue
+                    gen, ctx, report = self._restart_process(
+                        crash.pid, down.pop(crash.pid)
+                    )
+                    ever_recovered.add(crash.pid)
+                    if report.decided:
+                        decisions[crash.pid] = report.decision
+                        halted_at[crash.pid] = self.tick
+                        if self.observer is not None:
+                            self.observer.event(
+                                "decided", pid=crash.pid, tick=self.tick
+                            )
+                    else:
+                        generators[crash.pid] = gen
+                        contexts[crash.pid] = ctx
+                for crash in self.fault_plan.crash_at(self.tick):
+                    if crash.pid not in generators:
+                        continue  # already decided, corrupted, or down
+                    generators.pop(crash.pid)
+                    contexts.pop(crash.pid)
+                    down[crash.pid] = self.tick
+                    self.recovery.on_crash(crash.pid, self.tick)
+                    self.trace.emit(
+                        tick=self.tick, pid=crash.pid, scope="faults",
+                        name="crashed",
+                    )
+                    if self.observer is not None:
+                        self.observer.event(
+                            "crashed", pid=crash.pid, tick=self.tick
+                        )
+                        self.observer.on_recovery("crash")
+
             deliveries = self._due.pop(self.tick, [])
+            if down:  # a down process's deliveries are lost, not queued
+                deliveries = [
+                    (delay, e) for delay, e in deliveries if e.receiver not in down
+                ]
             pending: dict[ProcessId, list[tuple[float, Envelope]]] = {}
             for delay, envelope in deliveries:
                 pending.setdefault(envelope.receiver, []).append((delay, envelope))
@@ -338,6 +415,10 @@ class Simulation:
             for pid in sorted(generators):
                 ctx = contexts[pid]
                 ctx.inbox = inboxes.get(pid, [])
+                if self.recovery is not None:
+                    # Write-ahead: the inbox is durable before the
+                    # protocol acts on it.
+                    self.recovery.on_inbox(pid, self.tick, ctx.inbox)
                 try:
                     next(generators[pid])
                 except StopIteration as stop:
@@ -364,8 +445,16 @@ class Simulation:
                     )
                     self._behaviors[pid].step(api)
 
+            if self.recovery is not None:
+                self.recovery.end_tick(self.tick)
             self.tick += 1
 
+        if self.recovery is not None:
+            self.recovery.close()
+            if self.observer is not None:
+                self.observer.gauge(
+                    "recovery.wal_bytes", self.recovery.wal_bytes()
+                )
         if self.observer is not None:
             self.observer.gauge("sim.final_tick", self.tick)
             if truncated:
@@ -381,7 +470,43 @@ class Simulation:
             envelopes=tuple(self.envelopes),
             truncated=truncated,
             observer=self.observer,
+            recovered=frozenset(ever_recovered),
         )
+
+    def _restart_process(self, pid: ProcessId, down_since: int):
+        """Rebuild a crashed process from its WAL and rejoin it.
+
+        Replays the durable history through every tick before ``now``
+        (down-window ticks replay as empty inboxes, keeping the
+        generator tick-aligned with the cluster) and returns
+        ``(generator, context, report)``; the generator's next resume
+        executes the current tick live.
+        """
+        from repro.recovery.replay import replay_generator
+
+        assert self.recovery is not None
+        self.recovery.on_restart(pid, self.tick, down_since)
+        history = self.recovery.load(pid)
+        ctx = ProcessContext(self, pid)
+        gen, report = replay_generator(
+            self._factories[pid], ctx, history, until_tick=self.tick
+        )
+        self.recovery.note_replay(report)
+        self.trace.emit(
+            tick=self.tick, pid=pid, scope="faults", name="recovered",
+            replayed_ticks=report.ticks_replayed,
+            replayed_sends=report.sends_replayed,
+        )
+        if self.observer is not None:
+            self.observer.event(
+                "recovered", pid=pid, tick=self.tick,
+                replayed_ticks=report.ticks_replayed,
+            )
+            self.observer.on_recovery("restart")
+            self.observer.on_recovery(
+                "replayed_ticks", report.ticks_replayed
+            )
+        return gen, ctx, report
 
     def _validate_population(self) -> None:
         scheduled = {
@@ -399,3 +524,11 @@ class Simulation:
                 raise SchedulerError(
                     f"process {pid} is already Byzantine; cannot re-corrupt"
                 )
+        if self.fault_plan is not None:
+            for crash in self.fault_plan.crashes:
+                if crash.pid not in self._factories:
+                    raise SchedulerError(
+                        f"crash fault targets process {crash.pid}, which is "
+                        f"not a correct process (only correct processes "
+                        f"crash and recover; Byzantine ones are adversarial)"
+                    )

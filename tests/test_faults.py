@@ -386,13 +386,17 @@ class TestTcpBackpressure:
     def test_peer_writer_drains_queue(self):
         """The per-peer writer coroutine must push every queued frame
         through ``write()+drain()`` — no frame may rot in the queue."""
-        from repro.asyncnet.tcp import _Peer, _read_frame
+        from repro.asyncnet.tcp import _Peer, _encode_frame, _read_frame
 
         async def scenario():
             received = []
 
             async def handle(reader, writer):
                 try:
+                    hello = await _read_frame(reader)
+                    assert hello[0] == "hello"
+                    writer.write(_encode_frame(("ack", None)))
+                    await writer.drain()
                     while True:
                         received.append(await _read_frame(reader))
                 except asyncio.IncompleteReadError:
@@ -403,13 +407,16 @@ class TestTcpBackpressure:
 
             server = await asyncio.start_server(handle, "127.0.0.1", 0)
             port = server.sockets[0].getsockname()[1]
-            peer = _Peer("127.0.0.1", port)
+            peer = _Peer("127.0.0.1", port, sender_pid=9, epoch=0)
             await peer.connect()
             for i in range(200):
                 peer.send({"frame": i})
             while len(received) < 200:
                 await asyncio.sleep(0.01)
             assert peer.queue.empty()
+            assert [frame[3] for frame in received[:3]] == [
+                {"frame": 0}, {"frame": 1}, {"frame": 2}
+            ]
             await peer.close()
             server.close()
             await server.wait_closed()
@@ -422,7 +429,7 @@ class TestTcpBackpressure:
         from repro.asyncnet.tcp import _Peer
 
         async def scenario():
-            peer = _Peer("127.0.0.1", 1)  # nothing listens on port 1
+            peer = _Peer("127.0.0.1", 1, sender_pid=9, epoch=0)  # dead port
             with pytest.raises(ConnectionError):
                 await peer.connect()
             assert peer.dead

@@ -1,0 +1,249 @@
+"""The crash-recovery acceptance suite (ISSUE acceptance criterion).
+
+A weak-BA run with a scheduled crash/restart of one correct process must
+recover that process from its WAL and decide the same value — and the
+run's message bill must be exactly what deterministic replay of the WALs
+predicts.  The same loop is exercised over all three runtimes (tick
+scheduler, asyncio, localhost TCP), plus the guardrails: crashes demand
+a recovery manager, model-checked runs refuse one, and a WAL whose
+highwater marks disagree with the replayed machine is rejected loudly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.asyncnet import run_async
+from repro.asyncnet.tcp import run_over_tcp
+from repro.config import RunParameters, SystemConfig
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba, weak_ba_protocol
+from repro.errors import RecoveryError, SchedulerError
+from repro.faults import FaultPlan, ProcessCrash
+from repro.obs import Observer
+from repro.recovery import (
+    ProcessWal,
+    RecoveryManager,
+    load_history,
+    replay_wal,
+)
+from repro.verify.checker import verify_under_plan
+
+CONFIG = SystemConfig(n=4, t=1)
+CRASH = ProcessCrash(pid=2, at_tick=3, restart_tick=6)
+PLAN = FaultPlan(crashes=(CRASH,))
+SEED = 7
+
+
+def validity_factory(suite, config):
+    return ExternalValidity(lambda v: isinstance(v, str))
+
+
+def run_with_crash(wal_dir, *, observer=None, snapshot_every=None, seed=SEED):
+    recovery = RecoveryManager(wal_dir, snapshot_every=snapshot_every)
+    inputs = {pid: "v" for pid in CONFIG.processes}
+    result = run_weak_ba(
+        CONFIG,
+        inputs,
+        validity_factory,
+        seed=seed,
+        params=RunParameters(
+            seed=seed, fault_plan=PLAN, observer=observer, recovery=recovery
+        ),
+    )
+    return result, recovery
+
+
+class TestTickWorldAcceptance:
+    def test_crashed_process_recovers_and_agrees(self, tmp_path):
+        result, recovery = run_with_crash(tmp_path)
+        assert result.unanimous_decision() == "v"
+        assert result.recovered == frozenset({2})
+        assert result.corrupted == frozenset()  # crashed-but-honest
+        assert recovery.stats.crashes == 1
+        assert recovery.stats.restarts == 1
+        # The rejoin replayed exactly the pre-restart prefix.
+        (report,) = recovery.stats.reports
+        assert report.pid == 2
+        assert report.resumed_at_tick == CRASH.restart_tick
+        assert report.ticks_replayed == CRASH.restart_tick
+        assert report.down_windows == [(CRASH.at_tick, CRASH.restart_tick)]
+
+    def test_crashed_pid_counts_toward_effective_f(self, tmp_path):
+        result, _ = run_with_crash(tmp_path)
+        assert PLAN.faulty == frozenset({2})
+        report = verify_under_plan(result, PLAN)
+        assert report.ok, report.summary()
+
+    def test_word_bill_matches_replayed_wals(self, tmp_path):
+        """The acceptance bar: the run's message bill and decision are
+        exactly what offline replay of the per-process WALs predicts."""
+        result, recovery = run_with_crash(tmp_path)
+        replayed_sends = 0
+        for pid in CONFIG.processes:
+            report = replay_wal(tmp_path / f"p{pid}")
+            assert report.decided, f"p{pid} did not decide within its WAL"
+            assert report.decision == result.decisions[pid]
+            # Down-window sends are phantoms: the replayed machine
+            # attempts them, but the crashed process never did.
+            replayed_sends += report.sends_replayed - report.phantom_sends
+        assert replayed_sends == result.ledger.correct_messages
+
+    def test_wal_highwater_marks_match_ledger(self, tmp_path):
+        result, _ = run_with_crash(tmp_path)
+        for pid in CONFIG.processes:
+            history = load_history(tmp_path / f"p{pid}")
+            billed = sum(
+                1 for r in result.ledger.records if r.sender == pid
+            )
+            assert history.total_sends() == billed
+
+    def test_observer_counts_recovery_events(self, tmp_path):
+        observer = Observer()
+        result, _ = run_with_crash(tmp_path, observer=observer)
+        registry = observer.registry
+        assert registry.counter("recovery.crash").value == 1
+        assert registry.counter("recovery.restart").value == 1
+        assert (
+            registry.counter("recovery.replayed_ticks").value
+            == CRASH.restart_tick
+        )
+        assert result.recovered == frozenset({2})
+
+    def test_same_decision_as_uncrashed_run(self, tmp_path):
+        inputs = {pid: "v" for pid in CONFIG.processes}
+        baseline = run_weak_ba(
+            CONFIG, inputs, validity_factory, seed=SEED,
+            params=RunParameters(seed=SEED),
+        )
+        result, _ = run_with_crash(tmp_path)
+        assert result.unanimous_decision() == baseline.unanimous_decision()
+
+    def test_snapshots_bound_live_wal_and_replay_survives(self, tmp_path):
+        result, recovery = run_with_crash(tmp_path, snapshot_every=5)
+        assert result.unanimous_decision() == "v"
+        assert recovery.stats.snapshots > 0
+        assert (tmp_path / "p0.snap").exists()
+        report = replay_wal(tmp_path / "p0")
+        assert report.decided and report.decision == "v"
+
+
+class TestAsyncRuntimes:
+    def factories(self):
+        validity = ExternalValidity(lambda v: isinstance(v, str))
+        return {
+            pid: (lambda ctx, v="v": weak_ba_protocol(ctx, v, validity))
+            for pid in CONFIG.processes
+        }
+
+    def test_asyncio_runner_recovers(self, tmp_path):
+        recovery = RecoveryManager(tmp_path)
+        for pid in CONFIG.processes:
+            recovery.describe_process(pid, protocol="weak_ba", input="v")
+        result = asyncio.run(
+            run_async(
+                CONFIG, self.factories(), seed=SEED,
+                tick_duration=0.02, fault_plan=PLAN, recovery=recovery,
+            )
+        )
+        assert result.unanimous_decision() == "v"
+        assert result.recovered == frozenset({2})
+        assert recovery.stats.restarts == 1
+        report = replay_wal(tmp_path / "p2")
+        assert report.decided and report.decision == "v"
+
+    def test_tcp_runner_recovers_with_bumped_epoch(self, tmp_path):
+        recovery = RecoveryManager(tmp_path)
+        result = asyncio.run(
+            run_over_tcp(
+                CONFIG, self.factories(), seed=SEED,
+                tick_duration=0.05, fault_plan=PLAN, recovery=recovery,
+            )
+        )
+        assert result.unanimous_decision() == "v"
+        assert result.recovered == frozenset({2})
+        # The rejoined node re-announced itself under a fresh epoch, so
+        # its session-layer retransmit state started clean.
+        assert recovery.stats.crashes == 1
+
+    def test_asyncio_crashes_require_recovery_manager(self):
+        with pytest.raises(SchedulerError, match="RecoveryManager"):
+            asyncio.run(
+                run_async(
+                    CONFIG, self.factories(), seed=SEED, fault_plan=PLAN
+                )
+            )
+
+
+class TestGuardrails:
+    def test_tick_crashes_require_recovery_manager(self):
+        inputs = {pid: "v" for pid in CONFIG.processes}
+        with pytest.raises(SchedulerError, match="RecoveryManager"):
+            run_weak_ba(
+                CONFIG, inputs, validity_factory, seed=SEED,
+                params=RunParameters(seed=SEED, fault_plan=PLAN),
+            )
+
+    def test_model_checked_runs_refuse_recovery(self, tmp_path):
+        from repro.mc.choices import ChoiceSource
+        from repro.runtime.scheduler import Simulation
+
+        with pytest.raises(SchedulerError, match="filesystem"):
+            Simulation(
+                CONFIG,
+                seed=0,
+                choices=ChoiceSource([]),
+                recovery=RecoveryManager(tmp_path),
+            )
+
+    def test_replay_divergence_is_loud(self, tmp_path):
+        """A WAL whose highwater marks disagree with the deterministic
+        machine must be refused, not silently rejoined."""
+        result, _ = run_with_crash(tmp_path)
+        assert result.unanimous_decision() == "v"
+        # Forge an extra sends record: the replayed machine will send
+        # fewer messages at that tick than the log claims.
+        wal = ProcessWal(tmp_path / "p0")
+        wal.log_sends(0, 17)
+        wal.close()
+        with pytest.raises(RecoveryError, match="replay diverged"):
+            replay_wal(tmp_path / "p0")
+
+    def test_offline_replay_needs_deployment_meta(self, tmp_path):
+        wal = ProcessWal(tmp_path / "p9")
+        wal.log_meta({"protocol": "weak_ba"})  # no n/t/seed/pid
+        wal.close()
+        with pytest.raises(RecoveryError, match="lacks"):
+            replay_wal(tmp_path / "p9")
+
+    def test_offline_replay_needs_known_protocol(self, tmp_path):
+        wal = ProcessWal(tmp_path / "p9")
+        wal.log_meta({"n": 4, "t": 1, "seed": 0, "pid": 0, "protocol": "hb"})
+        wal.close()
+        with pytest.raises(RecoveryError, match="no replay builder"):
+            replay_wal(tmp_path / "p9")
+
+    def test_crash_window_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="restart tick"):
+            FaultPlan(crashes=(ProcessCrash(pid=0, at_tick=5, restart_tick=5),))
+        with pytest.raises(ConfigurationError, match="crash tick must be >= 1"):
+            FaultPlan(crashes=(ProcessCrash(pid=0, at_tick=0, restart_tick=3),))
+        with pytest.raises(ConfigurationError, match="overlapping"):
+            FaultPlan(
+                crashes=(
+                    ProcessCrash(pid=0, at_tick=2, restart_tick=6),
+                    ProcessCrash(pid=0, at_tick=4, restart_tick=8),
+                )
+            )
+        # Adjacent windows (restart then crash again the same tick) are
+        # legal: restarts are processed before crashes.
+        FaultPlan(
+            crashes=(
+                ProcessCrash(pid=0, at_tick=2, restart_tick=4),
+                ProcessCrash(pid=0, at_tick=4, restart_tick=6),
+            )
+        )

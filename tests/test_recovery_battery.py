@@ -1,0 +1,191 @@
+"""Recovery conformance battery (ISSUE satellite 1).
+
+Crash each protocol *role* — phase leader, follower, designated BB
+sender, strong-BA fixed leader, fallback participant — at every phase
+boundary of its protocol under a seeded :class:`FaultPlan`, restart it
+from its WAL, and assert the full contract every time:
+
+* **agreement** — every correct process (including the recovered one)
+  returns the same decision;
+* **validity** — the decision is the expected protocol output;
+* **word bounds** — :func:`verify_under_plan` accepts the run with the
+  crashed pid counted toward the effective ``f``;
+* **recovery accounting** — the crashed pid (and only it) appears in
+  ``result.recovered``, and offline replay of its WAL reproduces the
+  same decision.
+
+Phase boundaries are structural, not guessed: weak BA spends exactly
+:data:`WBA_PHASE_TICKS` ticks per Algorithm-4 phase before the
+help/fallback epilogue, BB prefixes a vetting phase, and strong BA's
+failure-free fast path is 4 leader rounds — crashing inside it is what
+*forces* the Section-7 fallback, which is the role the battery wants
+crashed too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RunParameters, SystemConfig
+from repro.core.byzantine_broadcast import run_byzantine_broadcast
+from repro.core.strong_ba import run_strong_ba
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+from repro.faults import FaultPlan, ProcessCrash
+from repro.recovery import RecoveryManager, replay_wal
+from repro.verify.checker import verify_under_plan
+
+CONFIG4 = SystemConfig(n=4, t=1)
+CONFIG3 = SystemConfig(n=3, t=1)  # strong BA wants n = 2t + 1
+
+WBA_PHASE_TICKS = 6
+"""One Algorithm-4 phase: propose, vote, commit-info, commit-cert,
+decide-share, finalize — six one-tick rounds."""
+
+DOWN_TICKS = 3
+"""Crash-to-restart window used throughout the battery."""
+
+
+def _crash_plan(pid: int, at_tick: int, *, seed: int) -> FaultPlan:
+    return FaultPlan(
+        crashes=(
+            ProcessCrash(
+                pid=pid, at_tick=at_tick, restart_tick=at_tick + DOWN_TICKS
+            ),
+        ),
+        seed=seed,
+    )
+
+
+def _assert_contract(result, plan, recovery, wal_dir, *, pid, expected):
+    decisions = set(map(repr, result.decisions.values()))
+    assert decisions == {repr(expected)}, (
+        f"agreement/validity broken: {result.decisions}"
+    )
+    assert result.recovered == frozenset({pid})
+    assert result.corrupted == frozenset()
+    report = verify_under_plan(result, plan)
+    assert report.ok, report.summary()
+    assert recovery.stats.crashes == 1
+    assert recovery.stats.restarts == 1
+    # The WAL alone reproduces the crashed process's decision.
+    offline = replay_wal(wal_dir / f"p{pid}")
+    assert offline.decided
+    assert repr(offline.decision) == repr(expected)
+
+
+def validity_factory(suite, config):
+    return ExternalValidity(lambda v: isinstance(v, str))
+
+
+class TestWeakBaRoles:
+    """num_phases=2: phase-1 leader is pid 1, phase-2 leader pid 2,
+    pids 0 and 3 never lead.  Phases end at ticks 6 and 12; the
+    help/fallback epilogue runs ticks 12-18."""
+
+    BOUNDARIES = (1, WBA_PHASE_TICKS, 2 * WBA_PHASE_TICKS)
+
+    def _run(self, pid, at_tick, tmp_path, seed):
+        plan = _crash_plan(pid, at_tick, seed=seed)
+        recovery = RecoveryManager(tmp_path)
+        result = run_weak_ba(
+            CONFIG4,
+            {p: "v" for p in CONFIG4.processes},
+            validity_factory,
+            seed=seed,
+            params=RunParameters(
+                seed=seed, num_phases=2, fault_plan=plan, recovery=recovery
+            ),
+        )
+        _assert_contract(
+            result, plan, recovery, tmp_path, pid=pid, expected="v"
+        )
+
+    @pytest.mark.parametrize("at_tick", BOUNDARIES)
+    def test_phase_leader_crashes(self, at_tick, tmp_path, test_seed):
+        self._run(CONFIG4.leader_of_phase(1), at_tick, tmp_path, test_seed)
+
+    @pytest.mark.parametrize("at_tick", BOUNDARIES)
+    def test_follower_crashes(self, at_tick, tmp_path, test_seed):
+        self._run(3, at_tick, tmp_path, test_seed)
+
+    def test_fallback_participant_crashes(self, tmp_path, test_seed):
+        """Crash inside the help/fallback epilogue (ticks 12-18): the
+        process is mid-``Afallback`` when it dies."""
+        self._run(3, 2 * WBA_PHASE_TICKS + 3, tmp_path, test_seed)
+
+
+class TestByzantineBroadcastRoles:
+    """Adaptive BB = vetting phase + embedded weak BA.  With
+    num_phases=2 the vetting phase occupies the first ~7 ticks and the
+    embedded BA's phases follow."""
+
+    BOUNDARIES = (1, 7, 13)
+
+    def _run(self, pid, at_tick, tmp_path, seed):
+        plan = _crash_plan(pid, at_tick, seed=seed)
+        recovery = RecoveryManager(tmp_path)
+        result = run_byzantine_broadcast(
+            CONFIG4,
+            1,
+            "payload",
+            seed=seed,
+            params=RunParameters(
+                seed=seed, num_phases=2, fault_plan=plan, recovery=recovery
+            ),
+        )
+        _assert_contract(
+            result, plan, recovery, tmp_path, pid=pid, expected="payload"
+        )
+
+    @pytest.mark.parametrize("at_tick", BOUNDARIES)
+    def test_designated_sender_crashes(self, at_tick, tmp_path, test_seed):
+        """The sender's value is already signed and broadcast at tick 0,
+        so even its crash cannot un-send it — BB still delivers."""
+        self._run(1, at_tick, tmp_path, test_seed)
+
+    @pytest.mark.parametrize("at_tick", BOUNDARIES)
+    def test_follower_crashes(self, at_tick, tmp_path, test_seed):
+        self._run(3, at_tick, tmp_path, test_seed)
+
+    def test_fallback_participant_crashes(self, tmp_path, test_seed):
+        self._run(3, 20, tmp_path, test_seed)
+
+
+class TestStrongBaRoles:
+    """Algorithm 5: fixed leader p0, 4-round fast path.  Crashing
+    *anyone* during the fast path kills the n-of-n decide certificate,
+    so these runs exercise the Section-7 fallback; a crash after the
+    fast path (tick 5+) recovers into an already-decided cluster."""
+
+    FAST_PATH = (1, 2, 3)
+
+    def _run(self, pid, at_tick, tmp_path, seed, *, expect_fallback):
+        plan = _crash_plan(pid, at_tick, seed=seed)
+        recovery = RecoveryManager(tmp_path)
+        result = run_strong_ba(
+            CONFIG3,
+            {p: 1 for p in CONFIG3.processes},
+            seed=seed,
+            params=RunParameters(seed=seed, fault_plan=plan, recovery=recovery),
+        )
+        _assert_contract(result, plan, recovery, tmp_path, pid=pid, expected=1)
+        fast_path_ticks = 8  # 4 leader rounds + GRACE_TICKS + decide
+        if expect_fallback:
+            assert result.ticks > fast_path_ticks + DOWN_TICKS
+        return result
+
+    @pytest.mark.parametrize("at_tick", FAST_PATH)
+    def test_leader_crashes_forces_fallback(self, at_tick, tmp_path, test_seed):
+        self._run(0, at_tick, tmp_path, test_seed, expect_fallback=True)
+
+    @pytest.mark.parametrize("at_tick", FAST_PATH)
+    def test_follower_crashes_forces_fallback(
+        self, at_tick, tmp_path, test_seed
+    ):
+        self._run(2, at_tick, tmp_path, test_seed, expect_fallback=True)
+
+    def test_late_crash_recovers_into_decided_cluster(
+        self, tmp_path, test_seed
+    ):
+        self._run(2, 5, tmp_path, test_seed, expect_fallback=False)
