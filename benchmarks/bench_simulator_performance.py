@@ -3,13 +3,21 @@
 Not a paper claim — infrastructure health: how fast the deterministic
 runtime executes protocol rounds, so regressions in the scheduler or
 pool don't silently make the real benchmarks unrunnable at scale.
+
+The report test publishes a ``simulator_performance`` artifact through
+the shared harness so the runtime's throughput has the same JSON trail
+as the paper benches.
 """
+
+import time
 
 from repro.config import SystemConfig
 from repro.core.byzantine_broadcast import run_byzantine_broadcast
 from repro.core.strong_ba import run_strong_ba
 from repro.fallback.recursive_ba import run_fallback_ba
 from repro.runtime.scheduler import Simulation
+
+from benchmarks._harness import publish, time_percentiles, word_bill
 
 
 def all_to_all_protocol(rounds):
@@ -65,3 +73,44 @@ def test_fallback_crypto_heavy_rate(benchmark):
         iterations=1,
     )
     assert result.unanimous_decision() == "v"
+
+
+def test_simulator_performance_report(benchmark):
+    """Publish one throughput row per runtime workload."""
+    config13 = SystemConfig.with_optimal_resilience(13)
+    workloads = [
+        ("all-to-all n=21 r=10", lambda: run_all_to_all(21, 10)),
+        ("bb n=13 f=0",
+         lambda: run_byzantine_broadcast(config13, sender=0, value="v")),
+        ("strong_ba n=13 f=0",
+         lambda: run_strong_ba(config13, {p: 1 for p in config13.processes})),
+        ("fallback_ba n=13 f=0",
+         lambda: run_fallback_ba(
+             config13, {p: "v" for p in config13.processes})),
+    ]
+    rows = ["workload               ticks   words  envelopes/s   runs/s"]
+    bills = []
+    for label, run in workloads:
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        bills.append(word_bill(label, result))
+        envelopes = result.ledger.correct_messages
+        rows.append(
+            f"{label:<21} {result.ticks:>6}  {result.correct_words:>6}"
+            f"  {envelopes / elapsed:>11.0f}  {1 / elapsed:>7.2f}"
+        )
+    publish(
+        "simulator_performance",
+        "\n".join(rows),
+        scenario={
+            "workloads": [label for label, _ in workloads],
+            "note": "single representative run per row; see "
+            "pytest-benchmark output for distributions",
+        },
+        word_bills=bills,
+        wall_clock=time_percentiles(lambda: run_all_to_all(21, 10), repeats=3),
+    )
+    benchmark.pedantic(
+        lambda: run_all_to_all(21, 10), rounds=3, iterations=1
+    )

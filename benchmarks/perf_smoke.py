@@ -1,0 +1,54 @@
+"""CI perf smoke: fail if explorer throughput drops below the floor.
+
+Standalone (no pytest) so the CI leg is one command::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+Measures best-of-3 CPU-time schedule rate on the floor workload from
+``perf_floor.json`` and exits nonzero when it lands below the checked-in
+pre-optimization baseline.  CPU time + best-of-N keep the check honest
+on busy shared runners: it asks "can this code still go that fast", not
+"was the box idle".
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.mc.explore import explore_exhaustive
+from repro.mc.scenario import make_scenario
+
+FLOOR_FILE = Path(__file__).parent / "perf_floor.json"
+
+
+def measure(repeats: int = 3) -> float:
+    scenario = make_scenario("weak-ba", n=4, t=1, max_ticks=12, perm_cap=2)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.process_time()
+        result = explore_exhaustive(scenario, max_runs=50_000)
+        elapsed = time.process_time() - start
+        if not (result.complete and result.ok):
+            print("perf smoke: explorer verdict changed — failing", file=sys.stderr)
+            raise SystemExit(2)
+        best = max(best, result.stats.runs / elapsed if elapsed else 0.0)
+    return best
+
+
+def main() -> int:
+    floor = json.loads(FLOOR_FILE.read_text())
+    rate = measure()
+    target = floor["mc_sched_per_sec"]
+    verdict = "ok" if rate >= target else "BELOW FLOOR"
+    print(
+        f"perf smoke: {rate:.0f} sched/s vs floor {target:.0f} — {verdict}\n"
+        f"  workload: {floor['workload']}"
+    )
+    return 0 if rate >= target else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -224,6 +224,64 @@ def sweep_fallback_ba(
     return points
 
 
+_SWEEPS: dict[str, Callable[..., list["SweepPoint"]]] = {}
+"""Sweep functions by protocol key, for the parallel driver and CLI."""
+
+
+def _sweep_task(args: tuple[str, int, int, int]) -> SweepPoint:
+    """Run one grid point of a named sweep (worker entry point).
+
+    Module-level so multiprocessing can pickle it; the sweep's default
+    adversary strategy is rebuilt inside the worker.  One point per
+    task keeps shards balanced — large-``n`` runs dominate, and a
+    per-``n`` split would leave workers idle behind the biggest one.
+    """
+    protocol, n, f, seed = args
+    sweep = _SWEEPS[protocol]
+    config = SystemConfig.with_optimal_resilience(n)
+    (point,) = sweep([n], fs=lambda _config: [f], seeds=[seed])
+    assert point.n == config.n and point.seed == seed
+    return point
+
+
+def sweep_parallel(
+    protocol: str,
+    ns: Sequence[int],
+    *,
+    fs: Callable[[SystemConfig], Iterable[int]] | None = None,
+    seeds: Sequence[int] = (0,),
+    jobs: int = 1,
+) -> list[SweepPoint]:
+    """Run a named sweep with its grid points fanned out over ``jobs``
+    worker processes.
+
+    Points come back in the same (n, f, seed) order as the serial sweep
+    functions produce, and each point's run is bit-identical to its
+    serial counterpart (every run is seeded and self-contained — the
+    processes share nothing).  Only the sweeps' *default* adversary
+    strategies are supported here; custom strategy objects stay on the
+    serial API.
+    """
+    # Accept the CLI's hyphenated spellings alongside the ledger's
+    # protocol keys ("weak-ba" == "weak_ba", "fallback" == "fallback_ba").
+    key = protocol.replace("-", "_")
+    if key == "fallback":
+        key = "fallback_ba"
+    protocol = key
+    if protocol not in _SWEEPS:
+        raise ValueError(
+            f"unknown sweep protocol {protocol!r}; "
+            f"known: {sorted(_SWEEPS)}"
+        )
+    from repro.runtime.pool import parallel_map
+
+    tasks: list[tuple[str, int, int, int]] = []
+    for config, f in _default_grid(ns, fs):
+        for seed in seeds:
+            tasks.append((protocol, config.n, f, seed))
+    return parallel_map(_sweep_task, tasks, jobs)
+
+
 def sweep_dolev_strong(
     ns: Sequence[int],
     *,
@@ -248,3 +306,14 @@ def sweep_dolev_strong(
                 )
             )
     return points
+
+
+_SWEEPS.update(
+    {
+        "bb": sweep_byzantine_broadcast,
+        "weak_ba": sweep_weak_ba,
+        "strong_ba": sweep_strong_ba,
+        "fallback_ba": sweep_fallback_ba,
+        "dolev_strong": sweep_dolev_strong,
+    }
+)

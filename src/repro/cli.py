@@ -257,12 +257,23 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    sweep = SWEEPS[args.protocol]
-    points = sweep(
-        args.ns,
-        fs=lambda c: range(0, min(args.max_f, c.t) + 1),
-        seeds=tuple(range(args.seeds)),
-    )
+    if args.jobs > 1:
+        from repro.analysis.sweeps import sweep_parallel
+
+        points = sweep_parallel(
+            args.protocol,
+            args.ns,
+            fs=lambda c: range(0, min(args.max_f, c.t) + 1),
+            seeds=tuple(range(args.seeds)),
+            jobs=args.jobs,
+        )
+    else:
+        sweep = SWEEPS[args.protocol]
+        points = sweep(
+            args.ns,
+            fs=lambda c: range(0, min(args.max_f, c.t) + 1),
+            seeds=tuple(range(args.seeds)),
+        )
     print(render_points(points))
     failure_free = [p for p in points if p.f == 0]
     if len({p.n for p in failure_free}) >= 2:
@@ -339,11 +350,15 @@ def cmd_mc_explore(args: argparse.Namespace) -> int:
     )
     print(f"scenario: {scenario.description}")
     if args.mode == "exhaustive":
-        result = mc.explore_exhaustive(
-            scenario,
-            max_runs=args.max_runs,
-            prune=None if args.prune == "none" else args.prune,
-        )
+        prune = None if args.prune == "none" else args.prune
+        if args.jobs > 1:
+            result = mc.explore_exhaustive_parallel(
+                scenario, jobs=args.jobs, max_runs=args.max_runs, prune=prune
+            )
+        else:
+            result = mc.explore_exhaustive(
+                scenario, max_runs=args.max_runs, prune=prune
+            )
     else:
         result = mc.explore_random(
             scenario, runs=args.max_runs, seed=args.walk_seed,
@@ -625,6 +640,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--ns", type=int, nargs="+", default=[5, 9, 13])
     sweep_parser.add_argument("--max-f", type=int, default=1)
     sweep_parser.add_argument("--seeds", type=int, default=1)
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes fanning out the grid points (1 = serial; "
+        "each point's run is identical either way)",
+    )
     sweep_parser.set_defaults(func=cmd_sweep)
 
     flows_parser = sub.add_parser(
@@ -673,6 +693,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore_parser.add_argument(
         "--prune", choices=["behavior", "history", "none"], default="behavior"
+    )
+    explore_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard the exhaustive DFS across worker processes (1 = "
+        "serial; shards prune independently, so run totals differ "
+        "from a serial search while the verdict cannot)",
     )
     explore_parser.add_argument("--walk-seed", type=int, default=0)
     explore_parser.add_argument(

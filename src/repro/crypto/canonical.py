@@ -72,9 +72,22 @@ def encode(value: Any) -> bytes:
         body = b"".join(parts)
         return _with_length(_TAG_FROZENSET, struct.pack(">I", len(parts)) + body)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Frozen payloads are immutable, so their encoding is too: memoize
+        # it on the instance (signatures hash the same message object once
+        # per receiver otherwise).  Mutable dataclasses are not memoized.
+        params = getattr(type(value), "__dataclass_params__", None)
+        instance_dict = getattr(value, "__dict__", None)
+        frozen = params is not None and params.frozen and instance_dict is not None
+        if frozen:
+            cached = instance_dict.get("_canonical_cache")
+            if cached is not None:
+                return cached
         fields = dataclasses.fields(value)
         body = encode(type(value).__name__) + b"".join(
             encode(getattr(value, f.name)) for f in fields
         )
-        return _with_length(_TAG_DATACLASS, body)
+        encoded = _with_length(_TAG_DATACLASS, body)
+        if frozen:
+            object.__setattr__(value, "_canonical_cache", encoded)
+        return encoded
     raise TypeError(f"cannot canonically encode value of type {type(value).__name__}")

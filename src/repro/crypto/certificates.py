@@ -15,11 +15,13 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.config import ProcessId, SystemConfig
+from repro.crypto.canonical import encode
 from repro.crypto.keys import KeyRegistry, Signer
 from repro.crypto.threshold import (
     PartialSignature,
     ThresholdScheme,
     ThresholdSignature,
+    digest_from_bytes,
 )
 from repro.errors import InvalidCertificateError, ThresholdError
 
@@ -27,6 +29,17 @@ from repro.errors import InvalidCertificateError, ThresholdError
 def _bind(label: str, payload: object) -> tuple:
     """The value actually threshold-signed for a certificate."""
     return ("qc", label, payload)
+
+
+_SCHEME_CACHE: dict[tuple[bytes, str, int], ThresholdScheme] = {}
+_SCHEME_CACHE_CAP = 1024
+"""Dealt-scheme memo keyed by ``(master_seed, scheme_id, epoch)``.
+
+Dealing is deterministic in exactly those inputs, so two suites with the
+same master seed (e.g. the thousands of single-run simulations a model-
+checking sweep builds) share one dealt scheme object — and with it the
+scheme's sign/combine/verify memos, which is where most of the crypto
+speedup across runs comes from."""
 
 
 @dataclass(frozen=True)
@@ -53,7 +66,9 @@ class QuorumCertificate:
         scheme = suite.scheme_by_id(self.signature.scheme_id)
         if scheme is None:
             return False
-        return scheme.verify(self.signature, _bind(self.label, self.payload))
+        return suite._verify_bound(
+            scheme, self.signature, self.label, self.payload
+        )
 
     def words(self) -> int:
         return 1
@@ -69,15 +84,75 @@ class CryptoSuite:
         ``n`` for share dealing).
     seed:
         Deterministic master seed for the PKI and every dealt scheme.
+    epoch:
+        Key epoch.  Epoch 0 derives the exact master seed the suite used
+        before epochs existed; :meth:`rotate_keys` advances it, replacing
+        every key and dealt scheme.  The epoch is baked into every cached
+        verification key so rotation invalidates stale verdicts.
+    cache:
+        When ``False`` the suite bypasses the module-level dealt-scheme
+        memo and constructs schemes with their internal memos disabled —
+        the reference path the divergence-guard tests compare against.
     """
 
-    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+    _CERT_CACHE_CAP = 1 << 12
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        seed: int = 0,
+        *,
+        epoch: int = 0,
+        cache: bool = True,
+    ) -> None:
         self.config = config
-        self._master_seed = hashlib.sha256(
-            f"suite|{seed}|{config.n}|{config.t}".encode()
-        ).digest()
-        self.registry = KeyRegistry(config.n, master_seed=self._master_seed)
+        self._seed = seed
+        self._cache_enabled = cache
         self._schemes: dict[str, ThresholdScheme] = {}
+        # Combined-certificate verdicts keyed by canonical message bytes
+        # (plus scheme id, epoch and the signature fields).
+        self._cert_cache: dict[tuple[str, int, bytes, int, int], bool] = {}
+        # (label, id(payload)) -> (payload, canonical bytes, digest).
+        # Identity-keyed: the same *object* trivially has the same
+        # canonical encoding, and the stored strong reference keeps the
+        # id from being reused.  Hits constantly — protocols re-verify
+        # the same statement objects (FALLBACK_STATEMENT, the phase
+        # value) many times per run.
+        self._bind_memo: dict[tuple[str, int], tuple[object, bytes, int]] = {}
+        self._set_epoch(epoch)
+
+    def _set_epoch(self, epoch: int) -> None:
+        if epoch < 0:
+            raise ThresholdError(f"epoch must be >= 0, got {epoch}")
+        self._epoch = epoch
+        epoch_tag = "" if epoch == 0 else f"|epoch={epoch}"
+        self._master_seed = hashlib.sha256(
+            f"suite|{self._seed}|{self.config.n}|{self.config.t}{epoch_tag}".encode()
+        ).digest()
+        self.registry = KeyRegistry(self.config.n, master_seed=self._master_seed)
+        self._schemes.clear()
+        self._cert_cache.clear()
+        self._bind_memo.clear()
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache_enabled
+
+    def rotate_keys(self) -> int:
+        """Advance to the next key epoch.
+
+        Re-derives the master seed, rebuilds the PKI registry and drops
+        every dealt scheme and cached certificate verdict.  Signatures
+        and certificates produced under the previous epoch no longer
+        verify — and, because all memo keys carry the epoch, no cached
+        ``True`` can leak across the rotation.
+        """
+        self._set_epoch(self._epoch + 1)
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Scheme management
@@ -107,13 +182,23 @@ class CryptoSuite:
         scheme_id = self._scheme_id(label, k, members)
         existing = self._schemes.get(scheme_id)
         if existing is None:
-            existing = ThresholdScheme(
-                scheme_id=scheme_id,
-                k=k,
-                n=self.config.n,
-                seed=self._master_seed,
-                members=members,
-            )
+            cache_key = (self._master_seed, scheme_id, self._epoch)
+            if self._cache_enabled:
+                existing = _SCHEME_CACHE.get(cache_key)
+            if existing is None:
+                existing = ThresholdScheme(
+                    scheme_id=scheme_id,
+                    k=k,
+                    n=self.config.n,
+                    seed=self._master_seed,
+                    members=members,
+                    epoch=self._epoch,
+                    cache=self._cache_enabled,
+                )
+                if self._cache_enabled:
+                    if len(_SCHEME_CACHE) >= _SCHEME_CACHE_CAP:
+                        _SCHEME_CACHE.clear()
+                    _SCHEME_CACHE[cache_key] = existing
             self._schemes[scheme_id] = existing
         return existing
 
@@ -156,6 +241,62 @@ class CryptoSuite:
     # Certificate construction / verification helpers
     # ------------------------------------------------------------------
 
+    def _bound(self, label: str, payload: object) -> tuple[bytes, int]:
+        """Canonical bytes and digest of the bound statement."""
+        if self._cache_enabled:
+            key = (label, id(payload))
+            hit = self._bind_memo.get(key)
+            if hit is not None and hit[0] is payload:
+                return hit[1], hit[2]
+        encoded = encode(_bind(label, payload))
+        digest = digest_from_bytes(encoded, cache=self._cache_enabled)
+        if self._cache_enabled:
+            if len(self._bind_memo) >= self._CERT_CACHE_CAP:
+                self._bind_memo.clear()
+            self._bind_memo[key] = (payload, encoded, digest)
+        return encoded, digest
+
+    def _bound_digest(self, label: str, payload: object) -> int:
+        """Digest of the bound ``(label, payload)`` statement."""
+        return self._bound(label, payload)[1]
+
+    def _verify_bound(
+        self,
+        scheme: ThresholdScheme,
+        signature: ThresholdSignature,
+        label: str,
+        payload: object,
+    ) -> bool:
+        """Verify a combined signature against the bound statement,
+        memoized by the statement's canonical bytes.
+
+        The key carries the scheme id, the epoch and both signature
+        fields, so a rotated suite or a doctored signature can never hit
+        a stale ``True``.
+        """
+        if signature.scheme_id != scheme.scheme_id:
+            return False
+        encoded, digest = self._bound(label, payload)
+        key = (
+            scheme.scheme_id,
+            scheme.epoch,
+            encoded,
+            signature.digest,
+            signature.value,
+        )
+        if self._cache_enabled:
+            cached = self._cert_cache.get(key)
+            if cached is not None:
+                return cached
+        verdict = signature.digest == digest and scheme.verify_value_digest(
+            signature.value, digest
+        )
+        if self._cache_enabled:
+            if len(self._cert_cache) >= self._CERT_CACHE_CAP:
+                self._cert_cache.clear()
+            self._cert_cache[key] = verdict
+        return verdict
+
     def verify_certificate(
         self,
         certificate: QuorumCertificate,
@@ -179,8 +320,8 @@ class CryptoSuite:
         scheme = self.scheme(label, k, members)
         if certificate.signature.scheme_id != scheme.scheme_id:
             return False
-        return scheme.verify(
-            certificate.signature, _bind(certificate.label, certificate.payload)
+        return self._verify_bound(
+            scheme, certificate.signature, certificate.label, certificate.payload
         )
 
     def partial_for_certificate(
@@ -192,7 +333,9 @@ class CryptoSuite:
         members: frozenset[ProcessId] | None = None,
     ) -> PartialSignature:
         """Process ``pid``'s share toward ``QC_label(payload)``."""
-        return self.scheme(label, k, members).partial_sign(pid, _bind(label, payload))
+        return self.scheme(label, k, members).partial_sign_digest(
+            pid, self._bound_digest(label, payload)
+        )
 
     def verify_partial(
         self,
@@ -202,8 +345,8 @@ class CryptoSuite:
         payload: object,
         members: frozenset[ProcessId] | None = None,
     ) -> bool:
-        return self.scheme(label, k, members).verify_partial(
-            partial, _bind(label, payload)
+        return self.scheme(label, k, members).verify_partial_digest(
+            partial, self._bound_digest(label, payload)
         )
 
     def combine_certificate(
@@ -215,11 +358,12 @@ class CryptoSuite:
         members: frozenset[ProcessId] | None = None,
     ) -> QuorumCertificate:
         """Batch partials into a certificate (Alg. 2 line 26 et al.)."""
-        signature = self.scheme(label, k, members).combine(partials)
+        scheme = self.scheme(label, k, members)
+        signature = scheme.combine(partials)
         certificate = QuorumCertificate(
             label=label, payload=payload, signature=signature
         )
-        if not certificate.verify(self):
+        if not self._verify_bound(scheme, signature, label, payload):
             raise InvalidCertificateError(
                 f"combined certificate for {label!r} does not verify; "
                 "partials were not signatures on this payload"
@@ -248,6 +392,10 @@ class CertificateCollector:
         self._payload = payload
         self._members = members
         self._partials: dict[ProcessId, PartialSignature] = {}
+        # The bound statement is fixed for the collector's lifetime, so
+        # encode and digest it once; every add() verifies against it.
+        self._scheme = suite.scheme(label, k, members)
+        self._digest = suite._bound_digest(label, payload)
 
     @property
     def count(self) -> int:
@@ -259,8 +407,8 @@ class CertificateCollector:
 
     def add(self, partial: PartialSignature) -> bool:
         """Add a partial if valid; return :attr:`complete` afterwards."""
-        if partial.signer not in self._partials and self._suite.verify_partial(
-            partial, self._label, self._k, self._payload, self._members
+        if partial.signer not in self._partials and self._scheme.verify_partial_digest(
+            partial, self._digest
         ):
             self._partials[partial.signer] = partial
         return self.complete
@@ -279,3 +427,9 @@ class CertificateCollector:
             self._partials.values(),
             self._members,
         )
+
+
+def clear_caches() -> None:
+    """Drop the module-level dealt-scheme memo (tests, long-lived
+    services).  Per-suite certificate caches die with their suites."""
+    _SCHEME_CACHE.clear()

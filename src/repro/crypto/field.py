@@ -38,6 +38,10 @@ def mul(a: int, b: int) -> int:
 def inv(a: int) -> int:
     """Multiplicative inverse of ``a`` modulo ``PRIME``.
 
+    Uses CPython's native extended-Euclid path (``pow(a, -1, PRIME)``),
+    which is several times faster than the Fermat exponentiation
+    ``pow(a, PRIME - 2, PRIME)`` for a 256-bit modulus.
+
     Raises
     ------
     ThresholdError
@@ -46,7 +50,7 @@ def inv(a: int) -> int:
     a = a % PRIME
     if a == 0:
         raise ThresholdError("zero has no multiplicative inverse")
-    return pow(a, PRIME - 2, PRIME)
+    return pow(a, -1, PRIME)
 
 
 @dataclass(frozen=True)
@@ -72,20 +76,19 @@ class Polynomial:
         return result
 
 
-def lagrange_coefficients_at_zero(xs: Sequence[int]) -> list[int]:
-    """Lagrange basis coefficients ``lambda_i`` such that for any
-    polynomial ``f`` of degree ``< len(xs)``:
+_LAGRANGE_CACHE: dict[tuple[int, ...], tuple[int, ...]] = {}
+_LAGRANGE_CACHE_CAP = 4096
+"""Signer-set tuple -> coefficient tuple.  Quorums repeat across phases
+and runs (the same ``k`` signers combine certificate after certificate),
+so the O(k^2) coefficient computation would otherwise be redone
+thousands of times for identical inputs."""
 
-        ``f(0) == sum(lambda_i * f(xs[i]))  (mod PRIME)``
 
-    The ``xs`` must be distinct and non-zero.
-    """
-    points = [x % PRIME for x in xs]
-    if len(set(points)) != len(points):
-        raise ThresholdError(f"interpolation points must be distinct: {xs}")
-    if any(x == 0 for x in points):
-        raise ThresholdError("interpolation points must be non-zero")
-    coefficients = []
+def _lagrange_uncached(points: tuple[int, ...]) -> tuple[int, ...]:
+    """The reference computation, one batched inversion for all k
+    denominators (Montgomery's trick: invert the running product once,
+    then unfold) instead of one modular inversion per coefficient."""
+    denominators = []
     for i, x_i in enumerate(points):
         numerator = 1
         denominator = 1
@@ -94,8 +97,45 @@ def lagrange_coefficients_at_zero(xs: Sequence[int]) -> list[int]:
                 continue
             numerator = mul(numerator, x_j)
             denominator = mul(denominator, sub(x_j, x_i))
-        coefficients.append(mul(numerator, inv(denominator)))
-    return coefficients
+        denominators.append((numerator, denominator))
+    prefix = [1]
+    for _, denominator in denominators:
+        prefix.append(mul(prefix[-1], denominator))
+    inverse = inv(prefix[-1])
+    coefficients = [0] * len(points)
+    for i in range(len(points) - 1, -1, -1):
+        numerator, denominator = denominators[i]
+        coefficients[i] = mul(numerator, mul(inverse, prefix[i]))
+        inverse = mul(inverse, denominator)
+    return tuple(coefficients)
+
+
+def lagrange_coefficients_at_zero(
+    xs: Sequence[int], *, cache: bool = True
+) -> list[int]:
+    """Lagrange basis coefficients ``lambda_i`` such that for any
+    polynomial ``f`` of degree ``< len(xs)``:
+
+        ``f(0) == sum(lambda_i * f(xs[i]))  (mod PRIME)``
+
+    The ``xs`` must be distinct and non-zero.  Results are memoized by
+    the signer-set tuple; ``cache=False`` forces the uncached reference
+    computation (the divergence-guard tests compare the two).
+    """
+    points = tuple(x % PRIME for x in xs)
+    if len(set(points)) != len(points):
+        raise ThresholdError(f"interpolation points must be distinct: {xs}")
+    if any(x == 0 for x in points):
+        raise ThresholdError("interpolation points must be non-zero")
+    if not cache:
+        return list(_lagrange_uncached(points))
+    coefficients = _LAGRANGE_CACHE.get(points)
+    if coefficients is None:
+        if len(_LAGRANGE_CACHE) >= _LAGRANGE_CACHE_CAP:
+            _LAGRANGE_CACHE.clear()
+        coefficients = _lagrange_uncached(points)
+        _LAGRANGE_CACHE[points] = coefficients
+    return list(coefficients)
 
 
 def interpolate_at_zero(points: Iterable[tuple[int, int]]) -> int:
@@ -108,3 +148,8 @@ def interpolate_at_zero(points: Iterable[tuple[int, int]]) -> int:
     for coefficient, y in zip(coefficients, ys):
         total = add(total, mul(coefficient, y))
     return total
+
+
+def clear_caches() -> None:
+    """Drop the Lagrange memo (tests and long-lived services)."""
+    _LAGRANGE_CACHE.clear()

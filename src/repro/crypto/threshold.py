@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.config import ProcessId
 from repro.crypto import field
@@ -38,15 +38,41 @@ from repro.errors import (
 )
 
 
-def message_digest(payload: object) -> int:
+_DIGEST_CACHE: dict[bytes, int] = {}
+_DIGEST_CACHE_CAP = 1 << 15
+"""Canonical message bytes -> field digest.  Certificate flows hash the
+same ``(label, payload)`` binding once per signer per phase; the cache
+collapses the repeated SHA-256 + reduction.  Keyed by the *encoded
+bytes* (not the payload object) because :func:`~repro.crypto.canonical.
+encode` is injective while Python equality is not (``1 == True``)."""
+
+
+def message_digest(payload: object, *, cache: bool = True) -> int:
     """Hash a canonically encodable payload into a field element ``H(m)``.
 
     The digest is forced non-zero so partial signatures never degenerate
     (``sigma_i = 0`` would leak nothing but also verify for any secret).
+    ``cache=False`` bypasses the memo (divergence-guard tests).
     """
-    raw = hashlib.sha256(b"tsig|" + encode(payload)).digest()
+    return digest_from_bytes(encode(payload), cache=cache)
+
+
+def digest_from_bytes(encoded: bytes, *, cache: bool = True) -> int:
+    """The digest of an already canonically encoded message."""
+    data = b"tsig|" + encoded
+    if cache:
+        value = _DIGEST_CACHE.get(data)
+        if value is not None:
+            return value
+    raw = hashlib.sha256(data).digest()
     value = int.from_bytes(raw, "big") % field.PRIME
-    return value if value != 0 else 1
+    if value == 0:
+        value = 1
+    if cache:
+        if len(_DIGEST_CACHE) >= _DIGEST_CACHE_CAP:
+            _DIGEST_CACHE.clear()
+        _DIGEST_CACHE[data] = value
+    return value
 
 
 @dataclass(frozen=True)
@@ -103,6 +129,15 @@ class ThresholdScheme:
         Number of share-holders (process ids ``0 .. n-1``).
     seed:
         Deterministic dealer randomness.
+    epoch:
+        Key epoch.  Epoch 0 deals exactly as before epochs existed;
+        rotating to epoch ``e > 0`` mixes ``e`` into the dealer material
+        so every share and the secret change, and the epoch is part of
+        every memoized verdict's key — a cached ``True`` from epoch
+        ``e-1`` can never satisfy a verification at epoch ``e``.
+    cache:
+        ``False`` disables every memo on this instance (the divergence-
+        guard tests run a cached and an uncached scheme side by side).
     """
 
     def __init__(
@@ -112,6 +147,9 @@ class ThresholdScheme:
         n: int,
         seed: bytes = b"",
         members: frozenset[ProcessId] | None = None,
+        *,
+        epoch: int = 0,
+        cache: bool = True,
     ) -> None:
         """``members`` restricts share dealing to a committee: only those
         processes receive shares, so a ``k``-quorum provably comes from
@@ -124,12 +162,18 @@ class ThresholdScheme:
             raise ThresholdError(
                 f"need 1 <= k <= |holders|, got k={k}, holders={len(holders)}"
             )
+        if epoch < 0:
+            raise ThresholdError(f"epoch must be >= 0, got {epoch}")
         self._scheme_id = scheme_id
         self._k = k
         self._n = n
+        self._epoch = epoch
+        self._cache_enabled = cache
         self._members = frozenset(holders)
+        epoch_tag = b"" if epoch == 0 else f"|epoch={epoch}".encode()
         material = hashlib.sha256(
             b"dealer|" + seed + scheme_id.encode() + f"|{k}|{n}".encode()
+            + epoch_tag
         ).digest()
         coefficients = []
         for i in range(k):
@@ -142,10 +186,35 @@ class ThresholdScheme:
         self._shares = {
             pid: self._polynomial.evaluate(pid + 1) for pid in holders
         }
+        # Per-scheme memos; every key carries the epoch (module doc of
+        # the ``epoch`` parameter).  Bounded: cleared wholesale at cap.
+        self._sign_cache: dict[tuple[int, ProcessId, int], int] = {}
+        self._combine_cache: dict[
+            tuple[int, int, tuple[ProcessId, ...]], int
+        ] = {}
+        self._verify_cache: dict[tuple[int, int, int], bool] = {}
+
+    _CACHE_CAP = 1 << 14
+
+    def _memo_get(self, memo: dict, key: tuple) -> object | None:
+        if not self._cache_enabled:
+            return None
+        return memo.get(key)
+
+    def _memo_put(self, memo: dict, key: tuple, value) -> None:
+        if not self._cache_enabled:
+            return
+        if len(memo) >= self._CACHE_CAP:
+            memo.clear()
+        memo[key] = value
 
     @property
     def scheme_id(self) -> str:
         return self._scheme_id
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
 
     @property
     def k(self) -> int:
@@ -174,17 +243,34 @@ class ThresholdScheme:
 
     def partial_sign(self, pid: ProcessId, payload: object) -> PartialSignature:
         """Produce ``pid``'s partial signature on ``payload``."""
-        digest = message_digest(payload)
-        value = field.mul(self._share_of(pid), digest)
+        return self.partial_sign_digest(pid, message_digest(payload))
+
+    def partial_sign_digest(
+        self, pid: ProcessId, digest: int
+    ) -> PartialSignature:
+        """Sign a precomputed message digest (the batch/collector path:
+        the digest is hashed once per payload, not once per signer)."""
+        key = (self._epoch, pid, digest)
+        value = self._memo_get(self._sign_cache, key)
+        if value is None:
+            value = field.mul(self._share_of(pid), digest)
+            self._memo_put(self._sign_cache, key, value)
+        else:
+            self._share_of(pid)  # preserve the UnknownSignerError contract
         return PartialSignature(
             scheme_id=self._scheme_id, signer=pid, digest=digest, value=value
         )
 
     def verify_partial(self, partial: PartialSignature, payload: object) -> bool:
         """Check a single partial against the dealer's share table."""
+        return self.verify_partial_digest(partial, message_digest(payload))
+
+    def verify_partial_digest(
+        self, partial: PartialSignature, digest: int
+    ) -> bool:
+        """Check one partial against an expected (precomputed) digest."""
         if partial.scheme_id != self._scheme_id:
             return False
-        digest = message_digest(payload)
         if partial.digest != digest:
             return False
         try:
@@ -192,6 +278,48 @@ class ThresholdScheme:
         except UnknownSignerError:
             return False
         return partial.value == field.mul(share, digest)
+
+    def verify_partials(
+        self, partials: Sequence[PartialSignature], payload: object
+    ) -> list[bool]:
+        """Batch verification: per-partial verdicts with one digest.
+
+        The message is hashed once; a Fiat–Shamir random linear
+        combination then checks the whole batch with a single share-sum
+        equation — ``sum(r_i * sigma_i) == (sum(r_i * s_i)) * H(m)`` —
+        where the ``r_i`` are derived by hashing the batch itself, so an
+        adversary cannot craft offsetting errors against coefficients
+        chosen after its values are fixed.  Only when the combined check
+        fails (at least one bad partial) does it fall back to
+        per-partial verification to locate the culprits.
+        """
+        digest = message_digest(payload)
+        eligible = all(
+            p.scheme_id == self._scheme_id
+            and p.digest == digest
+            and p.signer in self._shares
+            for p in partials
+        )
+        if eligible and len(partials) > 1:
+            seed = hashlib.sha256(
+                b"batch|"
+                + self._scheme_id.encode()
+                + digest.to_bytes(32, "big")
+                + b"|".join(p.value.to_bytes(32, "big") for p in partials)
+            ).digest()
+            lhs = 0
+            share_sum = 0
+            for i, partial in enumerate(partials):
+                r = int.from_bytes(
+                    hashlib.sha256(seed + i.to_bytes(4, "big")).digest(), "big"
+                ) % field.PRIME
+                lhs = field.add(lhs, field.mul(r, partial.value))
+                share_sum = field.add(
+                    share_sum, field.mul(r, self._shares[partial.signer])
+                )
+            if lhs == field.mul(share_sum, digest):
+                return [True] * len(partials)
+        return [self.verify_partial_digest(p, digest) for p in partials]
 
     def combine(self, partials: Iterable[PartialSignature]) -> ThresholdSignature:
         """Combine ``k`` (or more) distinct partials into one signature.
@@ -222,8 +350,23 @@ class ThresholdScheme:
                 f"got {len(chosen)}"
             )
         subset = chosen[: self._k]
-        points = [(p.signer + 1, p.value) for p in subset]
-        value = field.interpolate_at_zero(points)
+        # The key carries the partial *values*, not just the signer set:
+        # combining garbage values must miss the cache and produce the
+        # same non-verifying signature the uncached path would.
+        key = (self._epoch, digest, tuple((p.signer, p.value) for p in subset))
+        value = self._memo_get(self._combine_cache, key)
+        if value is None:
+            points = [(p.signer + 1, p.value) for p in subset]
+            if self._cache_enabled:
+                value = field.interpolate_at_zero(points)
+            else:
+                coefficients = field.lagrange_coefficients_at_zero(
+                    [x for x, _ in points], cache=False
+                )
+                value = 0
+                for coefficient, (_, y) in zip(coefficients, points):
+                    value = field.add(value, field.mul(coefficient, y))
+            self._memo_put(self._combine_cache, key, value)
         return ThresholdSignature(
             scheme_id=self._scheme_id,
             digest=digest,
@@ -246,4 +389,21 @@ class ThresholdScheme:
         digest = message_digest(payload)
         if signature.digest != digest:
             return False
-        return signature.value == field.mul(self._secret, digest)
+        return self.verify_value_digest(signature.value, digest)
+
+    def verify_value_digest(self, value: int, digest: int) -> bool:
+        """Oracle check of a combined value against a precomputed digest
+        (memoized; both accepts and rejects are cached, keyed with the
+        epoch so rotation can never resurrect a stale verdict)."""
+        key = (self._epoch, digest, value)
+        verdict = self._memo_get(self._verify_cache, key)
+        if verdict is None:
+            verdict = value == field.mul(self._secret, digest)
+            self._memo_put(self._verify_cache, key, verdict)
+        return verdict
+
+
+def clear_caches() -> None:
+    """Drop the module-level digest memo (tests, long-lived services).
+    Per-scheme memos die with their scheme instances."""
+    _DIGEST_CACHE.clear()

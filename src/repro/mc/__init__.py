@@ -34,6 +34,7 @@ from repro.mc.explore import (
     ExplorationResult,
     ExplorationStats,
     explore_exhaustive,
+    explore_exhaustive_parallel,
     explore_random,
     run_schedule,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "ScriptedChoices",
     "SeededChoices",
     "explore_exhaustive",
+    "explore_exhaustive_parallel",
     "explore_random",
     "kill_mutant",
     "load_replay",

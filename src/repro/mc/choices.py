@@ -235,13 +235,14 @@ def _distinct_orderings(
     """The first ``cap`` distinct permutations, in lexicographic index
     order (identity first), deduplicated by envelope equality.
 
-    Equality-based (payloads need not be hashable): each envelope is
-    keyed by the index of its first equal occurrence, so duplicated
-    copies of one message never inflate the option count with
-    indistinguishable orderings."""
+    Each envelope is keyed by the index of its first indistinguishable
+    occurrence (via :meth:`Envelope.mc_key`, the same repr-faithful key
+    state fingerprints use), so duplicated copies of one message never
+    inflate the option count with indistinguishable orderings."""
+    first: dict = {}
     canon = [
-        next(j for j in range(len(envelopes)) if envelopes[j] == envelopes[i])
-        for i in range(len(envelopes))
+        first.setdefault(envelope.mc_key(), i)
+        for i, envelope in enumerate(envelopes)
     ]
     seen: set[tuple[int, ...]] = set()
     out: list[tuple] = []

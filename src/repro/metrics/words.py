@@ -97,9 +97,24 @@ class WordRecord:
 
 @dataclass
 class WordLedger:
-    """Accumulates every send of a run and answers complexity queries."""
+    """Accumulates every send of a run and answers complexity queries.
+
+    ``records`` is append-only through :meth:`record`, which keeps the
+    running ``correct_words`` total up to date — the model checker reads
+    that total every tick, so recomputing it by summing the whole list
+    (the pre-optimization behavior) made fingerprinting quadratic in run
+    length.
+    """
 
     records: list[WordRecord] = field(default_factory=list)
+    _correct_words: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Constructing a ledger from pre-built records (the run-export
+        # loader does) must seed the running total too.
+        self._correct_words = sum(
+            r.words for r in self.records if r.sender_correct
+        )
 
     def record(
         self,
@@ -126,6 +141,8 @@ class WordLedger:
             phase=payload_phase(payload),
         )
         self.records.append(record)
+        if sender_correct:
+            self._correct_words += record.words
         return record
 
     # ------------------------------------------------------------------
@@ -135,7 +152,7 @@ class WordLedger:
     @property
     def correct_words(self) -> int:
         """Total words sent by correct processes — the paper's measure."""
-        return sum(r.words for r in self.records if r.sender_correct)
+        return self._correct_words
 
     @property
     def total_words(self) -> int:

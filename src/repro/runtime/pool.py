@@ -11,9 +11,43 @@ pool instead of being dropped, realizing Lemma 18's acceptance window.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+import os
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.runtime.envelope import Envelope
+
+
+def default_jobs() -> int:
+    """Worker count honoring the CPU affinity mask (cgroup-limited
+    containers often expose fewer usable cores than ``os.cpu_count``)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def parallel_map(
+    fn: Callable[[Any], Any], items: Sequence[Any], jobs: int
+) -> list[Any]:
+    """Map ``fn`` over ``items`` with up to ``jobs`` worker processes.
+
+    The seed/scenario-level fan-out primitive used by the model checker
+    shards and the analysis sweeps.  ``fn`` and every item must be
+    picklable (a module-level function, not a closure).  ``jobs <= 1``
+    or a single item runs serially in-process — no worker startup cost
+    and identical semantics, so callers need no special-casing and the
+    serial path stays the deterministic reference.
+
+    Results come back in input order regardless of completion order.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    import multiprocessing
+
+    workers = min(jobs, len(items))
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(fn, items)
 
 
 class MessagePool:

@@ -161,10 +161,14 @@ class Simulation:
         self._factories: dict[ProcessId, ProtocolFactory] = {}
         self._behaviors: dict[ProcessId, ByzantineBehavior] = {}
         self._scheduled_corruptions: dict[int, list[tuple[ProcessId, ByzantineBehavior]]] = {}
-        self._due: dict[int, list[tuple[float, Envelope]]] = {}
-        """Pending deliveries per tick as ``(sub-delta delay, envelope)``
-        pairs; the delay (a fraction of ``delta``) only influences inbox
-        position, never the delivery tick."""
+        self._due: dict[int, dict[ProcessId, list[tuple[float, Envelope]]]] = {}
+        """Slotted delivery wheel: tick -> receiver -> ``(sub-delta
+        delay, envelope)`` pairs.  The delay (a fraction of ``delta``)
+        only influences inbox position, never the delivery tick.
+        Receivers appear in first-send order and each bucket preserves
+        send order, so the wheel reproduces byte-for-byte the inboxes
+        the old flat per-tick scan produced (the seeded equivalence
+        property in ``test_scheduler_properties.py`` pins this)."""
         self._seq = 0
         self._started = False
         self.corrupted_now: set[ProcessId] = set()
@@ -265,11 +269,50 @@ class Simulation:
                         obs.on_fault("duplicated", len(copies) - 1)
                     if any(delay > 0 for delay in copies):
                         obs.on_fault("delayed")
-        for delay in copies:
-            self._due.setdefault(self.tick + 1, []).append((delay, envelope))
+        if copies:
+            self._slot_copies(envelope, copies)
         if self.record_envelopes:
             self.envelopes.append(envelope)
         self._seq += 1
+
+    # The three wheel accessors below are override points: the scheduler
+    # equivalence tests subclass Simulation with the historical flat
+    # per-tick list to prove the slotted wheel is observationally
+    # identical.
+
+    def _slot_copies(self, envelope: Envelope, copies: list[float]) -> None:
+        """File an envelope's wire copies into the delivery wheel."""
+        slot = self._due.get(self.tick + 1)
+        if slot is None:
+            slot = self._due[self.tick + 1] = {}
+        bucket = slot.get(envelope.receiver)
+        if bucket is None:
+            bucket = slot[envelope.receiver] = []
+        for delay in copies:
+            bucket.append((delay, envelope))
+
+    def _pending_at(
+        self, tick: int, down: dict[ProcessId, int]
+    ) -> dict[ProcessId, list[tuple[float, Envelope]]]:
+        """Pop tick ``tick``'s deliveries, grouped by receiver.
+
+        A down process's deliveries are lost, not queued.
+        """
+        pending = self._due.pop(tick, {})
+        if down:
+            for pid in down:
+                pending.pop(pid, None)
+        return pending
+
+    def _rushed_to(self, pid: ProcessId) -> list[Envelope]:
+        """Messages sent *this* tick to ``pid`` (Byzantine rushing)."""
+        slot = self._due.get(self.tick + 1)
+        if not slot:
+            return []
+        bucket = slot.get(pid)
+        if not bucket:
+            return []
+        return [e for _, e in bucket]
 
     # ------------------------------------------------------------------
     # Execution
@@ -372,14 +415,7 @@ class Simulation:
                         )
                         self.observer.on_recovery("crash")
 
-            deliveries = self._due.pop(self.tick, [])
-            if down:  # a down process's deliveries are lost, not queued
-                deliveries = [
-                    (delay, e) for delay, e in deliveries if e.receiver not in down
-                ]
-            pending: dict[ProcessId, list[tuple[float, Envelope]]] = {}
-            for delay, envelope in deliveries:
-                pending.setdefault(envelope.receiver, []).append((delay, envelope))
+            pending = self._pending_at(self.tick, down)
             inboxes: dict[ProcessId, list[Envelope]] = {}
             for pid, entries in pending.items():
                 if self.choices is not None:
@@ -430,7 +466,6 @@ class Simulation:
                         self.observer.event("decided", pid=pid, tick=self.tick)
 
             if generators:  # adversary acts only while the run is live
-                rushing = [e for _, e in self._due.get(self.tick + 1, [])]
                 for pid in sorted(self._behaviors):
                     api = ByzantineApi(
                         simulation=self,
@@ -438,9 +473,8 @@ class Simulation:
                         inbox=inboxes.get(pid, []),
                         rushed=[
                             e
-                            for e in rushing
-                            if e.receiver == pid
-                            and e.sender not in self.corrupted_now
+                            for e in self._rushed_to(pid)
+                            if e.sender not in self.corrupted_now
                         ],
                     )
                     self._behaviors[pid].step(api)

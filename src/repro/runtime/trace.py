@@ -37,6 +37,25 @@ class Trace:
     """Append-only event log with simple query helpers."""
 
     events: list[TraceEvent] = field(default_factory=list)
+    _fp: int = field(default=0, repr=False, compare=False)
+    _fp_index: int = field(default=0, repr=False, compare=False)
+
+    def fingerprint(self) -> int:
+        """Running hash-chain over the event log.
+
+        Lazily folds in only the events appended since the last call, so
+        per-tick fingerprinting (the model checker calls this every
+        tick) is amortized O(new events) instead of O(all events) — the
+        old per-tick re-hash of the whole log was quadratic in run
+        length.  Runs that never fingerprint pay nothing.
+        """
+        fp = self._fp
+        events = self.events
+        for i in range(self._fp_index, len(events)):
+            fp = hash((fp, repr(events[i])))
+        self._fp = fp
+        self._fp_index = len(events)
+        return fp
 
     def emit(
         self, *, tick: int, pid: ProcessId, scope: str, name: str, **data: Any

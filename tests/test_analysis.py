@@ -117,3 +117,33 @@ class TestTables:
         assert "demo" in text
         assert "x=1" in text and "x=2" in text
         assert "#" in text
+
+class TestParallelSweeps:
+    """``sweep_parallel`` fans grid points out to worker processes; the
+    results must be bit-identical to the serial sweep, in the same
+    order, for every protocol key (including the CLI's hyphenated
+    aliases)."""
+
+    def test_parallel_sweep_matches_serial(self):
+        from repro.analysis.sweeps import sweep_parallel, sweep_weak_ba
+
+        serial = sweep_weak_ba([3, 5], seeds=(0, 1))
+        for jobs in (1, 2):
+            assert sweep_parallel(
+                "weak_ba", [3, 5], seeds=(0, 1), jobs=jobs
+            ) == serial
+
+    def test_cli_alias_spellings_accepted(self):
+        from repro.analysis.sweeps import (
+            sweep_fallback_ba,
+            sweep_parallel,
+        )
+
+        assert sweep_parallel("weak-ba", [3], jobs=1)
+        assert sweep_parallel("fallback", [3], jobs=1) == sweep_fallback_ba([3])
+
+    def test_unknown_protocol_rejected(self):
+        from repro.analysis.sweeps import sweep_parallel
+
+        with pytest.raises(ValueError):
+            sweep_parallel("nope", [3], jobs=2)

@@ -154,3 +154,65 @@ class TestHelpAnswerCost:
         # One answer per decided correct process per request tick seen,
         # bounded well below quadratic.
         assert 0 < help_words <= 3 * config7.n
+
+class TestDuplicateDelayBilling:
+    """Perf-bug audit (PR 6): could a duplicated wire copy of a message
+    be billed twice when the duplicate is also delayed — in particular
+    when the copies straddle a crash window?  The audit found the ledger
+    bills at *send* time, once, before the fault injector multiplies the
+    envelope into wire copies; these tests pin that accounting so a
+    future refactor that bills per delivered copy fails loudly."""
+
+    def _run_ping(self, plan, wal_dir=None):
+        from repro.config import SystemConfig
+        from repro.recovery import RecoveryManager
+        from repro.runtime.scheduler import Simulation
+
+        config = SystemConfig.with_optimal_resilience(3)
+        recovery = RecoveryManager(wal_dir) if wal_dir is not None else None
+        simulation = Simulation(
+            config, seed=0, fault_plan=plan, recovery=recovery
+        )
+        received = {pid: 0 for pid in config.processes}
+
+        def protocol_for(pid):
+            def protocol(ctx):
+                for tick in range(8):
+                    if pid == 0 and tick < 2:
+                        ctx.send(1, ("ping", tick))
+                    yield
+                    received[pid] += len(ctx.inbox)
+                return None
+
+            return protocol
+
+        for pid in config.processes:
+            simulation.add_process(pid, protocol_for(pid))
+        result = simulation.run()
+        return result, received
+
+    def test_duplicated_delayed_message_billed_once(self):
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan(seed=1, duplicate_rate=1.0, delay_rate=1.0)
+        result, received = self._run_ping(plan)
+        # Two sends: two words on the ledger, however many wire copies.
+        assert result.correct_words == 2
+        assert received[1] > 2  # duplicates really did hit the wire
+
+    def test_copies_lost_in_crash_window_still_billed_once(self, tmp_path):
+        """Receiver is down for the whole delivery window: every wire
+        copy (original, duplicates, delayed duplicates) is lost, yet the
+        sender's bill is unchanged — exactly one word per send, never
+        zero and never per-copy."""
+        from repro.faults.plan import FaultPlan, ProcessCrash
+
+        plan = FaultPlan(
+            seed=1,
+            duplicate_rate=1.0,
+            delay_rate=1.0,
+            crashes=(ProcessCrash(pid=1, at_tick=1, restart_tick=5),),
+        )
+        result, received = self._run_ping(plan, wal_dir=tmp_path)
+        assert received[1] == 0  # both deliveries fell inside the window
+        assert result.correct_words == 2
