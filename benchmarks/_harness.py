@@ -67,6 +67,14 @@ def time_percentiles(fn: Callable[[], object], repeats: int = 5) -> dict:
     the median sample, p90/p99 the max) — good enough to spot order-of-
     magnitude regressions, which is all the JSON trail is for.
     """
+    if repeats < 1:
+        # The schema requires wall_clock.repeats >= 1; a bench with no
+        # timed runs should pass wall_clock=None instead of an empty
+        # percentile block (which used to die here with an IndexError).
+        raise ValueError(
+            "time_percentiles needs repeats >= 1; pass wall_clock=None "
+            f"to publish() for an untimed run (got repeats={repeats})"
+        )
     samples = []
     for _ in range(repeats):
         start = time.perf_counter()

@@ -16,6 +16,8 @@ Transport robustness
   growing the write buffer without bound.
 * **Reconnect** — if a connection drops mid-run (peer restart, injected
   reset), the writer coroutine re-dials with capped exponential backoff
+  (plus seeded per-peer jitter, so a healed partition does not trigger a
+  lockstep thundering herd of re-dials)
   and re-sends the frame that failed; a peer that stays unreachable
   past the retry budget is treated as a crashed machine (sends to it
   evaporate), which is exactly how the protocols model dead hosts.
@@ -71,7 +73,7 @@ from repro.asyncnet.runner import (
     _crash_and_recover,
     _drain_due,
 )
-from repro.config import ProcessId, SystemConfig
+from repro.config import ProcessId, SystemConfig, derive_rng
 from repro.errors import SchedulerError, TerminationViolation
 from repro.faults import FaultPlan
 from repro.obs.observer import Observer
@@ -98,6 +100,17 @@ session on reconnect anyway)."""
 ACK_EVERY = 16
 """The receiver acks after this many delivered frames, bounding how much
 retransmit buffer its senders must retain."""
+_BACKOFF_TAG = 0xBAC0
+"""Domain tag for the per-peer reconnect-jitter stream (see
+:func:`repro.config.derive_rng`)."""
+JITTER_SPREAD = (0.5, 1.5)
+"""Each backoff sleep is scaled by a seeded uniform draw from this
+range.  Without jitter every peer of a healed partition re-dials on the
+same capped-exponential schedule — a thundering herd that the soak
+fleet reliably turns into a second round of connection failures.  The
+draw comes from a per-``(sender, peer)`` RNG derived from the run seed,
+so same-seed runs still sleep identical schedules (trace reproducibility
+is preserved); distinct peers de-synchronize."""
 
 
 def _encode_frame(obj: object) -> bytes:
@@ -131,10 +144,15 @@ class _Peer:
         sender_pid: ProcessId,
         epoch: int,
         on_reconnect: Callable[[], None] | None = None,
+        peer_pid: ProcessId = -1,
+        seed: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self.sender_pid = sender_pid
+        self._jitter_rng = derive_rng(
+            seed, _BACKOFF_TAG ^ (sender_pid << 16) ^ (peer_pid & 0xFFFF)
+        )
         self.epoch = epoch
         """The sender's incarnation number; bumped on process restart and
         re-announced in the hello so receivers reset sequence state."""
@@ -210,7 +228,9 @@ class _Peer:
     # ------------------------------------------------------------------
 
     async def _dial(self) -> None:
-        """Open the connection, retrying with capped exponential backoff."""
+        """Open the connection, retrying with capped exponential backoff
+        plus seeded per-peer jitter (:data:`JITTER_SPREAD`)."""
+        low, high = JITTER_SPREAD
         delay = RECONNECT_BASE
         for attempt in range(RECONNECT_ATTEMPTS):
             try:
@@ -221,7 +241,7 @@ class _Peer:
             except OSError:
                 if attempt == RECONNECT_ATTEMPTS - 1:
                     break
-                await asyncio.sleep(delay)
+                await asyncio.sleep(delay * self._jitter_rng.uniform(low, high))
                 delay = min(delay * 2, RECONNECT_CAP)
         self.dead = True
         raise ConnectionError(f"peer {self.host}:{self.port} unreachable")
@@ -473,6 +493,8 @@ class TcpProcessNode:
                 self.pid,
                 self.epoch,
                 on_reconnect=self._reconnect_recorder(peer_pid),
+                peer_pid=peer_pid,
+                seed=self.network.seed,
             )
             await peer.connect()
             self.peers[peer_pid] = peer

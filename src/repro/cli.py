@@ -16,6 +16,8 @@ Usage (installed as a module entry point):
     python -m repro run weak-ba --n 4 --wal-dir /tmp/wal --crash 2:3:6
     python -m repro recover inspect /tmp/wal/p2
     python -m repro recover replay /tmp/wal/p2
+    python -m repro soak --instances 1000 --duration 120 --workers 6
+    python -m repro soak --replay runs/soak-artifacts/soak-violation-i7.json
 
 Every command prints the decision(s), the paper's complexity measures,
 and — where applicable — the per-layer word attribution.
@@ -484,9 +486,41 @@ def _wal_stem(path: str):
     from pathlib import Path
 
     stem = Path(path)
-    if stem.suffix in (".wal", ".snap"):
+    if not stem.is_dir() and stem.suffix in (".wal", ".snap"):
         stem = stem.with_suffix("")
     return stem
+
+
+def _diagnose_wal_stem(stem) -> str | None:
+    """One-line diagnosis of an unusable WAL stem, or ``None`` if it is
+    worth opening.
+
+    Covers the operator mistakes a long soak makes routine: pointing the
+    command at the run's ``--wal-dir`` instead of a process stem, at a
+    stem that was never written, or at a WAL left empty because the
+    process died before its first flush.
+    """
+    if stem.is_dir():
+        stems = sorted(p.name[: -len(".wal")] for p in stem.glob("*.wal"))
+        hint = ", ".join(stems[:8]) if stems else "none"
+        return (
+            f"{stem} is a directory, not a process stem "
+            f"(stems inside: {hint})"
+        )
+    wal_path = stem.with_suffix(".wal")
+    snap_path = stem.with_suffix(".snap")
+    if not wal_path.exists() and not snap_path.exists():
+        return f"no WAL or snapshot at {wal_path} / {snap_path}"
+    if (
+        wal_path.is_file()
+        and wal_path.stat().st_size == 0
+        and not snap_path.exists()
+    ):
+        return (
+            f"{wal_path} is empty (0 bytes) — the process died before "
+            "its first flush; nothing to recover"
+        )
+    return None
 
 
 def cmd_recover_inspect(args: argparse.Namespace) -> int:
@@ -495,12 +529,20 @@ def cmd_recover_inspect(args: argparse.Namespace) -> int:
     from repro.recovery import load_history, scan_wal
 
     stem = _wal_stem(args.stem)
+    problem = _diagnose_wal_stem(stem)
+    if problem is not None:
+        print(f"recover inspect: {problem}")
+        return 1
     wal_path = stem.with_suffix(".wal")
     if wal_path.exists():
         scan = scan_wal(wal_path)
         kinds: dict[str, int] = {}
         for record in scan.records:
-            kind = record[0] if record else "?"
+            kind = (
+                record[0]
+                if isinstance(record, (list, tuple)) and record
+                else "?"
+            )
             kinds[str(kind)] = kinds.get(str(kind), 0) + 1
         print(
             f"{wal_path}: {len(scan.records)} records, "
@@ -544,9 +586,13 @@ def cmd_recover_replay(args: argparse.Namespace) -> int:
     from repro.recovery import replay_wal
 
     stem = _wal_stem(args.stem)
+    problem = _diagnose_wal_stem(stem)
+    if problem is not None:
+        print(f"recover replay: {problem}")
+        return 1
     try:
         report = replay_wal(stem, strict=args.strict)
-    except RecoveryError as exc:
+    except (RecoveryError, OSError) as exc:
         print(f"replay failed: {exc}")
         return 1
     summary = report.summary()
@@ -564,6 +610,82 @@ def cmd_recover_replay(args: argparse.Namespace) -> int:
         print(f"  decided: {report.decision!r}")
     else:
         print("  decided: not within the recorded history")
+    return 0
+
+
+def _parse_inject(spec: str) -> tuple[int, str]:
+    """Parse one ``--inject`` spec, ``INDEX:TAG``."""
+    from repro.soak import INJECT_DOUBLE_BILL, INJECT_SKIP_REJOIN_DEDUP
+
+    tags = (INJECT_DOUBLE_BILL, INJECT_SKIP_REJOIN_DEDUP)
+    index, sep, tag = spec.partition(":")
+    if not sep or tag not in tags:
+        raise SystemExit(
+            f"--inject wants INDEX:TAG with TAG in {tags}, got {spec!r}"
+        )
+    try:
+        return int(index), tag
+    except ValueError:
+        raise SystemExit(
+            f"--inject wants an integer instance index, got {spec!r}"
+        ) from None
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Run a chaos soak campaign (or replay one violation artifact)."""
+    from repro.obs import Observer
+    from repro.soak import (
+        SoakSettings,
+        render_outcome,
+        replay_artifact,
+        run_fleet,
+        write_soak_result,
+    )
+
+    if args.replay:
+        verdict = replay_artifact(args.replay)
+        print(
+            f"replayed instance {verdict['index']}: "
+            f"recorded {verdict['recorded_kinds']}, "
+            f"fresh {verdict['fresh_kinds']}"
+        )
+        if verdict["derivation_drift"]:
+            print(
+                "  note: derive_instance no longer produces the recorded "
+                "spec (replayed the recorded spec verbatim)"
+            )
+        if verdict["reproduced"]:
+            print("  verdict: REPRODUCED")
+            return 0
+        print("  verdict: did not reproduce")
+        return 1
+
+    instances = args.instances
+    if instances is None and args.duration is None:
+        instances = 1000
+    settings = SoakSettings(
+        master_seed=args.seed,
+        profile=args.chaos_profile,
+        workers=args.workers,
+        instances=instances,
+        duration=args.duration,
+        tick_duration=args.tick,
+        artifacts_dir=args.artifacts_dir,
+        inject=dict(_parse_inject(spec) for spec in (args.inject or ())),
+    )
+    observer = Observer.wall()
+    outcome = run_fleet(settings, observer=observer, progress=print)
+    print(render_outcome(outcome))
+    path = write_soak_result(outcome, args.out)
+    print(f"trend artifact written to {path}")
+    if args.obs_log:
+        print(f"observer events written to {observer.write_events(args.obs_log)}")
+    if not outcome.ok:
+        print(
+            f"SOAK FAILED: {len(outcome.violations)} violation(s); "
+            f"replay artifacts in {settings.artifacts_dir}"
+        )
+        return 1
     return 0
 
 
@@ -792,6 +914,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat a torn tail (the normal crash signature) as fatal too",
     )
     replay_parser2.set_defaults(func=cmd_recover_replay)
+
+    from repro.soak.plan import DEFAULT_TICK, PROFILES
+
+    soak_parser = sub.add_parser(
+        "soak",
+        help="long-running chaos soak: a multi-process TCP fleet under "
+        "seeded chaos with an always-on invariant auditor",
+    )
+    soak_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed; every instance's spec and fault plan derives "
+        "from it, so failures replay deterministically",
+    )
+    soak_parser.add_argument(
+        "--chaos-profile", choices=sorted(PROFILES), default="mixed",
+        help="fault mix thrown at each instance (default: mixed)",
+    )
+    soak_parser.add_argument(
+        "--workers", type=int, default=3,
+        help="worker OS processes, each running whole TCP clusters "
+        "(default: 3)",
+    )
+    soak_parser.add_argument(
+        "--instances", type=int, default=None,
+        help="run at least this many instances (default 1000 when "
+        "--duration is not set; with --duration, both must be met)",
+    )
+    soak_parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="keep soaking for at least this long",
+    )
+    soak_parser.add_argument(
+        "--tick", type=float, default=DEFAULT_TICK,
+        help=f"round length in seconds (default {DEFAULT_TICK}; workers "
+        "escalate 2x/4x on scheduling stalls)",
+    )
+    soak_parser.add_argument(
+        "--out", default="benchmarks/results/soak.json", metavar="PATH",
+        help="schema-valid trend artifact (default: "
+        "benchmarks/results/soak.json)",
+    )
+    soak_parser.add_argument(
+        "--artifacts-dir", default="runs/soak-artifacts", metavar="DIR",
+        help="replayable violation artifacts land here as they are caught",
+    )
+    soak_parser.add_argument(
+        "--inject", action="append", default=None, metavar="INDEX:TAG",
+        help="sabotage instance INDEX with a known accounting bug "
+        "(double-bill, skip-rejoin-dedup) to prove the auditor catches "
+        "it; repeatable",
+    )
+    soak_parser.add_argument(
+        "--obs-log", default=None, metavar="PATH",
+        help="write the campaign's structured observer events as JSONL",
+    )
+    soak_parser.add_argument(
+        "--replay", default=None, metavar="ARTIFACT",
+        help="instead of soaking, re-run one violation artifact and "
+        "report whether its verdict reproduces",
+    )
+    soak_parser.set_defaults(func=cmd_soak)
 
     report_parser = sub.add_parser(
         "report", help="run the condensed claim battery, emit markdown"

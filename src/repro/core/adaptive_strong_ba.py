@@ -243,7 +243,7 @@ def adaptive_strong_ba_protocol(
             decision = ba_decision.payload[1]
         else:
             decision = BOTTOM
-        ctx.emit("decided", value=repr(decision))
+        ctx.emit("decided", value=repr(decision), session=session)
         return decision
 
 

@@ -308,7 +308,7 @@ def byzantine_broadcast_protocol(
             decision = ba_decision.payload
         else:
             decision = BOTTOM
-        ctx.emit("decided", value=repr(decision))
+        ctx.emit("decided", value=repr(decision), session=session)
         return decision
 
 

@@ -325,7 +325,7 @@ def strong_ba_protocol(
                     fallback_start = ctx.now + 2
 
         if fallback_start == float("inf"):
-            ctx.emit("decided", value=repr(decision))
+            ctx.emit("decided", value=repr(decision), session=session)
             return decision  # failure-free path: no fallback ever raised
 
         # Line 28: the quadratic fallback with delta' = 2*delta.
@@ -340,7 +340,7 @@ def strong_ba_protocol(
             decision = (
                 fallback_value if fallback_value in BINARY_VALUES else BOTTOM
             )
-        ctx.emit("decided", value=repr(decision))
+        ctx.emit("decided", value=repr(decision), session=session)
         return decision
 
 

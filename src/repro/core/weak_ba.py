@@ -725,7 +725,7 @@ def weak_ba_protocol(
         )
 
         decision = state.decision if state.decision != UNDECIDED else BOTTOM
-        ctx.emit("decided", value=repr(decision))
+        ctx.emit("decided", value=repr(decision), session=session)
         return decision
 
 

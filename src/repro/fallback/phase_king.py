@@ -141,7 +141,7 @@ def phase_king_protocol(
                         preference = payload.value
                         break
 
-        ctx.emit("decided", value=preference)
+        ctx.emit("decided", value=preference, session=session)
         return preference
 
 

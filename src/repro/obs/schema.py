@@ -55,6 +55,31 @@ _BILL_FIELDS = {
 }
 
 
+def _scenario_errors(value: object, path: str) -> list[str]:
+    """Scenario entries must be JSON-representable — including ``null``
+    (an empty run's ``silent_ratio`` is legitimately ``None``, and it
+    must round-trip rather than fail validation).  Anything a bench
+    sneaks in that ``json.dumps`` would choke on is caught *here*, as a
+    schema violation, instead of as a crash after the ``.txt`` artifact
+    was already written."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return []
+    if isinstance(value, list):
+        errors: list[str] = []
+        for i, item in enumerate(value):
+            errors.extend(_scenario_errors(item, f"{path}[{i}]"))
+        return errors
+    if isinstance(value, dict):
+        errors = []
+        for key, item in value.items():
+            if not isinstance(key, str):
+                errors.append(f"{path} key {key!r} must be a string")
+            else:
+                errors.extend(_scenario_errors(item, f"{path}.{key}"))
+        return errors
+    return [f"{path} must be a JSON scalar/list/object, got {type(value).__name__}"]
+
+
 def validate_bench_result(doc: object) -> list[str]:
     """Return every schema violation in ``doc`` (empty = valid)."""
     errors: list[str] = []
@@ -68,6 +93,8 @@ def validate_bench_result(doc: object) -> list[str]:
     for key, kind in (("name", str), ("scenario", dict), ("sections", list)):
         if not isinstance(doc.get(key), kind):
             errors.append(f"{key} must be a {kind.__name__}")
+    if isinstance(doc.get("scenario"), dict):
+        errors.extend(_scenario_errors(doc["scenario"], "scenario"))
     git_rev = doc.get("git_rev")
     if git_rev is not None and not isinstance(git_rev, str):
         errors.append("git_rev must be a string or null")

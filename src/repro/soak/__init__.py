@@ -1,0 +1,70 @@
+"""Chaos soak fleet: long-horizon composition testing.
+
+The paper's guarantees are stated per agreement instance; this package
+proves them *in composition* — thousands of consecutive instances over
+real TCP sockets in real worker OS processes, under continuous seeded
+chaos (mid-phase crashes with WAL rejoin, connection resets, message
+reordering / duplication / delay), with an always-on auditor checking
+cross-instance invariants after every commit and dumping replayable
+artifacts on violation.  Entry points:
+
+* :func:`run_fleet` — run a campaign (``repro soak`` wraps this);
+* :func:`derive_instance` — the pure master-seed → spec derivation;
+* :func:`run_instance` — one instance, oracle + TCP, inside a worker;
+* :class:`SoakAuditor` — the invariant auditor;
+* :func:`replay_artifact` — re-run a violation artifact to the same
+  verdict.
+"""
+
+from repro.soak.artifact import (
+    load_artifact,
+    replay_artifact,
+    spec_from_json,
+    spec_to_json,
+    write_artifact,
+)
+from repro.soak.auditor import SoakAuditor, SoakViolation
+from repro.soak.fleet import SoakOutcome, SoakSettings, run_fleet
+from repro.soak.plan import (
+    PROFILES,
+    ChaosProfile,
+    InstanceSpec,
+    derive_instance,
+    with_inject,
+)
+from repro.soak.report import (
+    render_outcome,
+    soak_result_doc,
+    write_soak_result,
+)
+from repro.soak.worker import (
+    INJECT_DOUBLE_BILL,
+    INJECT_SKIP_REJOIN_DEDUP,
+    InstanceFacts,
+    run_instance,
+)
+
+__all__ = [
+    "PROFILES",
+    "ChaosProfile",
+    "InstanceSpec",
+    "InstanceFacts",
+    "INJECT_DOUBLE_BILL",
+    "INJECT_SKIP_REJOIN_DEDUP",
+    "SoakAuditor",
+    "SoakOutcome",
+    "SoakSettings",
+    "SoakViolation",
+    "derive_instance",
+    "load_artifact",
+    "render_outcome",
+    "replay_artifact",
+    "run_fleet",
+    "run_instance",
+    "soak_result_doc",
+    "spec_from_json",
+    "spec_to_json",
+    "with_inject",
+    "write_artifact",
+    "write_soak_result",
+]

@@ -1,0 +1,142 @@
+"""Replayable violation artifacts.
+
+When the auditor flags an instance, the fleet writes one JSON document
+that is sufficient to re-run that exact instance anywhere: the master
+seed, the instance index, the chaos profile, and (belt and braces) the
+fully serialized spec the coordinator actually derived.  Replay
+re-derives the spec from ``(master_seed, index, profile)`` — proving
+the derivation is still the pure function the artifact assumed — runs
+it through the very same worker path, audits the fresh facts with a
+fresh auditor, and reports whether the verdict reproduced.
+
+The document is deliberately plain JSON (no pickles): artifacts end up
+attached to CI runs and read by humans first.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from repro.faults.plan import ConnectionReset, FaultPlan, ProcessCrash
+from repro.soak.auditor import SoakAuditor, SoakViolation
+from repro.soak.plan import PROFILES, InstanceSpec, derive_instance
+from repro.soak.worker import InstanceFacts, run_instance
+
+ARTIFACT_SCHEMA = "soak-violation/1"
+
+
+def plan_to_json(plan: FaultPlan | None) -> dict | None:
+    if plan is None:
+        return None
+    doc = asdict(plan)
+    doc["lossy"] = sorted(plan.lossy)
+    doc["slow"] = sorted(plan.slow)
+    doc["resets"] = [asdict(r) for r in plan.resets]
+    doc["crashes"] = [asdict(c) for c in plan.crashes]
+    return doc
+
+
+def plan_from_json(doc: dict | None) -> FaultPlan | None:
+    if doc is None:
+        return None
+    doc = dict(doc)
+    doc["lossy"] = frozenset(doc.get("lossy") or ())
+    doc["slow"] = frozenset(doc.get("slow") or ())
+    doc["resets"] = tuple(
+        ConnectionReset(**r) for r in doc.get("resets", ())
+    )
+    doc["crashes"] = tuple(
+        ProcessCrash(**c) for c in doc.get("crashes", ())
+    )
+    return FaultPlan(**doc)
+
+
+def spec_to_json(spec: InstanceSpec) -> dict:
+    doc = asdict(spec)
+    doc["inputs"] = list(spec.inputs)
+    doc["commands"] = [list(cmds) for cmds in spec.commands]
+    doc["plan"] = plan_to_json(spec.plan)
+    return doc
+
+
+def spec_from_json(doc: dict) -> InstanceSpec:
+    doc = dict(doc)
+    doc["inputs"] = tuple(doc["inputs"])
+    doc["commands"] = tuple(tuple(cmds) for cmds in doc["commands"])
+    doc["plan"] = plan_from_json(doc.get("plan"))
+    return InstanceSpec(**doc)
+
+
+def write_artifact(
+    directory: str | Path,
+    spec: InstanceSpec,
+    facts: InstanceFacts,
+    violations: list[SoakViolation],
+) -> Path:
+    """Dump one flagged instance as ``soak-violation-i<index>.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    document = {
+        "schema": ARTIFACT_SCHEMA,
+        "master_seed": spec.master_seed,
+        "index": spec.index,
+        "profile": spec.profile,
+        "spec": spec_to_json(spec),
+        "facts": asdict(facts),
+        "violations": [asdict(v) for v in violations],
+    }
+    path = directory / f"soak-violation-i{spec.index}.json"
+    path.write_text(json.dumps(document, indent=1, default=repr))
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"{path}: not a soak violation artifact "
+            f"(schema {document.get('schema')!r}, want {ARTIFACT_SCHEMA!r})"
+        )
+    return document
+
+
+def replay_artifact(path: str | Path) -> dict[str, Any]:
+    """Re-run a violation artifact and re-audit the fresh facts.
+
+    Returns a verdict dict: the fresh violations, the recorded ones,
+    and ``reproduced`` — true when the fresh run trips the same
+    invariant kinds at the same instance.  ``derivation_drift`` is set
+    when ``derive_instance`` no longer produces the recorded spec (the
+    recorded spec is still what gets replayed in that case, so the
+    verdict stays meaningful across derivation changes).
+    """
+    document = load_artifact(path)
+    spec = spec_from_json(document["spec"])
+    profile = PROFILES.get(document["profile"])
+    derivation_drift = True
+    if profile is not None:
+        rederived = derive_instance(
+            document["master_seed"],
+            document["index"],
+            profile,
+            tick_duration=spec.tick_duration,
+            inject=spec.inject,
+        )
+        derivation_drift = rederived != spec
+    facts = run_instance(spec)
+    auditor = SoakAuditor(start_index=spec.index)
+    fresh = auditor.submit(facts)
+    recorded_kinds = sorted(v["kind"] for v in document["violations"])
+    fresh_kinds = sorted(v.kind for v in fresh)
+    return {
+        "index": spec.index,
+        "recorded_kinds": recorded_kinds,
+        "fresh_kinds": fresh_kinds,
+        "reproduced": fresh_kinds == recorded_kinds,
+        "derivation_drift": derivation_drift,
+        "facts": facts,
+        "violations": fresh,
+    }

@@ -1,0 +1,145 @@
+"""The always-on soak auditor: cross-instance invariants as data.
+
+The fleet feeds every finished instance's :class:`InstanceFacts` into
+one :class:`SoakAuditor`.  Facts may arrive out of order (the pool is
+unordered); the auditor buffers and audits strictly in instance order,
+because two of its invariants are *cross*-instance: the cumulative
+billed-word counter must be monotone, and the instance sequence must be
+gapless — a silently dropped instance is itself a harness bug.
+
+Per-instance invariants (each maps to the subsystem that owns it):
+
+* ``verify``            — agreement / validity / termination, from
+  :mod:`repro.verify.checker`'s verdict on the TCP run;
+* ``decision-divergence`` — the TCP decision differs from the tick
+  simulator's prediction for the identical seed and fault plan;
+* ``double-billing``    — measured words differ from the simulator's
+  predicted bill (:mod:`repro.metrics.words` is billed per protocol
+  send, so retransmits and wire duplicates must cost nothing);
+* ``ledger-drift``      — the ledger's running total disagrees with a
+  recount of its own records (the running-total optimization leaked);
+* ``wal-highwater``     — a pid's durable send highwater
+  (:mod:`repro.recovery`) disagrees with its ledger sends;
+* ``instance-error``    — the worker raised instead of producing facts.
+
+``facts.phantom_sends`` (sends a replayed generator attempted during
+its down window) is deliberately *not* an invariant: suppressing those
+sends is how down-window replay works — the live cluster never saw
+them, and :func:`repro.recovery.replay.replay_generator` already raises
+on real divergence (a send-count mismatch outside the down window),
+which surfaces here as ``instance-error``.  The first soak campaigns
+flagged phantom sends and immediately "caught" perfectly healthy
+crash-rejoin instances; the count stays in the facts as diagnostics.
+
+Violations are frozen records; the fleet turns each flagged instance
+into a replayable JSON artifact (see :mod:`repro.soak.artifact`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soak.worker import InstanceFacts
+
+
+@dataclass(frozen=True)
+class SoakViolation:
+    """One invariant violation at one instance."""
+
+    index: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class SoakAuditor:
+    """Audits instance facts in order, accumulating cross-instance state."""
+
+    start_index: int = 0
+    next_index: int = field(init=False)
+    cumulative_billed: int = 0
+    instances_audited: int = 0
+    violations: list[SoakViolation] = field(default_factory=list)
+    _pending: dict[int, InstanceFacts] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.next_index = self.start_index
+
+    def submit(self, facts: InstanceFacts) -> list[SoakViolation]:
+        """Buffer ``facts``; audit every instance now contiguous.
+
+        Returns the violations found by *this* call (possibly from
+        several buffered instances that just became auditable).
+        """
+        if facts.index < self.next_index or facts.index in self._pending:
+            found = [
+                SoakViolation(
+                    index=facts.index,
+                    kind="instance-sequence",
+                    detail=f"instance {facts.index} reported twice",
+                )
+            ]
+            self.violations.extend(found)
+            return found
+        self._pending[facts.index] = facts
+        found = []
+        while self.next_index in self._pending:
+            found.extend(self._audit(self._pending.pop(self.next_index)))
+            self.next_index += 1
+        return found
+
+    @property
+    def backlog(self) -> int:
+        """Facts waiting for an earlier instance to arrive."""
+        return len(self._pending)
+
+    def _audit(self, facts: InstanceFacts) -> list[SoakViolation]:
+        found: list[SoakViolation] = []
+
+        def flag(kind: str, detail: str) -> None:
+            found.append(
+                SoakViolation(index=facts.index, kind=kind, detail=detail)
+            )
+
+        if facts.error is not None:
+            flag("instance-error", facts.error)
+        else:
+            if not facts.verify_ok:
+                flag("verify", facts.verify_summary)
+            if facts.decision != facts.predicted_decision:
+                flag(
+                    "decision-divergence",
+                    f"tcp decided {facts.decision} but the simulator "
+                    f"predicted {facts.predicted_decision}",
+                )
+            if facts.words_billed != facts.words_predicted:
+                flag(
+                    "double-billing",
+                    f"billed {facts.words_billed} words, predicted "
+                    f"{facts.words_predicted} (retries={facts.retries})",
+                )
+            if facts.ledger_recount != facts.words_billed:
+                flag(
+                    "ledger-drift",
+                    f"running total {facts.words_billed} != record recount "
+                    f"{facts.ledger_recount}",
+                )
+            if facts.words_billed < 0:
+                flag(
+                    "ledger-monotonicity",
+                    f"instance billed {facts.words_billed} words; the "
+                    "cumulative ledger would move backwards",
+                )
+            for pid in sorted(facts.wal_sends):
+                wal = facts.wal_sends[pid]
+                billed = facts.ledger_sends.get(pid, 0)
+                if wal != billed:
+                    flag(
+                        "wal-highwater",
+                        f"p{pid} WAL records {wal} sends but the ledger "
+                        f"billed {billed}",
+                    )
+        self.cumulative_billed += max(facts.words_billed, 0)
+        self.instances_audited += 1
+        self.violations.extend(found)
+        return found

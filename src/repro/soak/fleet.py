@@ -1,0 +1,261 @@
+"""The soak fleet coordinator.
+
+``run_fleet`` drives W worker OS processes (a ``multiprocessing`` pool;
+each worker runs whole TCP-cluster instances over real localhost
+sockets) through a stream of chaos instances derived from one master
+seed.  Submission is windowed — at most ``2 × workers`` instances are
+outstanding — so a duration-bounded soak generates work lazily instead
+of flooding the pool's task queue.
+
+The **auditor thread** is exactly the ISSUE's always-on invariant
+auditor: it consumes finished :class:`InstanceFacts` from a queue while
+the coordinator keeps submitting, audits them in instance order
+(:class:`SoakAuditor` buffers out-of-order arrivals), and dumps every
+flagged instance as a replayable artifact the moment it is caught —
+not at shutdown, so a violation found two minutes into a two-hour soak
+is on disk two minutes in.
+
+Stop condition: the fleet keeps launching instances until *every*
+configured target is met — at least ``instances`` committed *and* at
+least ``duration`` seconds elapsed (whichever is set; at least one must
+be).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.soak.artifact import write_artifact
+from repro.soak.auditor import SoakAuditor, SoakViolation
+from repro.soak.plan import (
+    DEFAULT_TICK,
+    PROFILES,
+    ChaosProfile,
+    derive_instance,
+)
+from repro.soak.worker import InstanceFacts, run_instance
+
+PROGRESS_INTERVAL = 2.0
+"""Seconds between progress callbacks / observer gauge refreshes."""
+
+
+@dataclass(frozen=True)
+class SoakSettings:
+    """One soak campaign's knobs (all derivable facts live in the plan)."""
+
+    master_seed: int = 7
+    profile: str = "mixed"
+    workers: int = 3
+    instances: int | None = 1000
+    duration: float | None = None
+    tick_duration: float = DEFAULT_TICK
+    artifacts_dir: str | Path = "runs/soak-artifacts"
+    inject: dict[int, str] = field(default_factory=dict)
+    """Instance-index → sabotage tag, for auditor self-tests."""
+
+    def chaos_profile(self) -> ChaosProfile:
+        try:
+            return PROFILES[self.profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown chaos profile {self.profile!r}; "
+                f"choose from {sorted(PROFILES)}"
+            ) from None
+
+
+@dataclass
+class SoakOutcome:
+    """What one campaign did, aggregated for the report and the CLI."""
+
+    settings: SoakSettings
+    instances: int = 0
+    elapsed: float = 0.0
+    violations: list[SoakViolation] = field(default_factory=list)
+    artifacts: list[Path] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+    words_billed: int = 0
+    words_predicted: int = 0
+    messages: int = 0
+    crashes: int = 0
+    rejoins: int = 0
+    resets: int = 0
+    reconnects: int = 0
+    retries: int = 0
+    errors: int = 0
+    by_protocol: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def commits_per_sec(self) -> float:
+        return self.instances / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def absorb(self, facts: InstanceFacts) -> None:
+        self.instances += 1
+        self.latencies.append(facts.latency)
+        self.words_billed += max(facts.words_billed, 0)
+        self.words_predicted += max(facts.words_predicted, 0)
+        self.messages += facts.messages
+        self.crashes += facts.crashes
+        self.rejoins += facts.rejoins
+        self.resets += facts.resets
+        self.reconnects += facts.reconnects
+        self.retries += facts.retries
+        if facts.error is not None:
+            self.errors += 1
+        if facts.protocol:
+            self.by_protocol[facts.protocol] = (
+                self.by_protocol.get(facts.protocol, 0) + 1
+            )
+
+
+def _auditor_loop(
+    inbox: "queue.Queue[InstanceFacts | None]",
+    auditor: SoakAuditor,
+    outcome: SoakOutcome,
+    specs: dict[int, object],
+    lock: threading.Lock,
+    observer,
+) -> None:
+    """Body of the always-on auditor thread."""
+    facts_store: dict[int, InstanceFacts] = {}
+    while True:
+        facts = inbox.get()
+        if facts is None:
+            return
+        with lock:
+            facts_store[facts.index] = facts
+            found = auditor.submit(facts)
+            outcome.absorb(facts)
+            if found:
+                flagged: dict[int, list[SoakViolation]] = {}
+                for violation in found:
+                    flagged.setdefault(violation.index, []).append(violation)
+                for index, violations in flagged.items():
+                    spec = specs.get(index)
+                    if spec is None:
+                        continue
+                    path = write_artifact(
+                        outcome.settings.artifacts_dir,
+                        spec,
+                        facts_store.get(index, facts),
+                        violations,
+                    )
+                    outcome.artifacts.append(path)
+            # Audited facts are done; only the out-of-order backlog
+            # (>= next_index) still needs its facts retained.
+            for index in [
+                i for i in facts_store if i < auditor.next_index
+            ]:
+                del facts_store[index]
+        if observer is not None:
+            observer.count("soak.instances")
+            if found:
+                observer.count("soak.violations", len(found))
+                observer.event(
+                    "soak_violation",
+                    index=facts.index,
+                    kinds=",".join(sorted({v.kind for v in found})),
+                )
+
+
+def run_fleet(
+    settings: SoakSettings,
+    *,
+    observer=None,
+    progress: Callable[[str], None] | None = None,
+) -> SoakOutcome:
+    """Run one soak campaign; returns when every target is met and the
+    last outstanding instance has been audited."""
+    import multiprocessing
+
+    if settings.instances is None and settings.duration is None:
+        raise ValueError("set instances, duration, or both")
+    if settings.workers < 1:
+        raise ValueError(f"workers must be >= 1, got {settings.workers}")
+    profile = settings.chaos_profile()
+
+    auditor = SoakAuditor()
+    outcome = SoakOutcome(settings=settings)
+    inbox: "queue.Queue[InstanceFacts | None]" = queue.Queue()
+    specs: dict[int, object] = {}
+    lock = threading.Lock()
+    thread = threading.Thread(
+        target=_auditor_loop,
+        args=(inbox, auditor, outcome, specs, lock, observer),
+        name="soak-auditor",
+        daemon=True,
+    )
+    thread.start()
+
+    window = max(2, settings.workers * 2)
+    started = time.monotonic()
+    last_progress = started
+    next_index = 0
+    pending: dict[int, object] = {}
+
+    def targets_met() -> bool:
+        if (
+            settings.instances is not None
+            and next_index < settings.instances
+        ):
+            return False
+        if (
+            settings.duration is not None
+            and time.monotonic() - started < settings.duration
+        ):
+            return False
+        return True
+
+    with multiprocessing.Pool(processes=settings.workers) as pool:
+        while pending or not targets_met():
+            while len(pending) < window and not targets_met():
+                spec = derive_instance(
+                    settings.master_seed,
+                    next_index,
+                    profile,
+                    tick_duration=settings.tick_duration,
+                    inject=settings.inject.get(next_index),
+                )
+                specs[next_index] = spec
+                pending[next_index] = pool.apply_async(run_instance, (spec,))
+                next_index += 1
+            done = [i for i, a in pending.items() if a.ready()]
+            if not done:
+                time.sleep(0.005)
+            for index in done:
+                inbox.put(pending.pop(index).get())
+            now = time.monotonic()
+            if progress is not None and now - last_progress >= PROGRESS_INTERVAL:
+                last_progress = now
+                with lock:
+                    elapsed = now - started
+                    rate = outcome.instances / elapsed if elapsed else 0.0
+                    progress(
+                        f"[soak] {outcome.instances} instances "
+                        f"({rate:.1f}/s), crashes {outcome.crashes}, "
+                        f"rejoins {outcome.rejoins}, resets {outcome.resets}, "
+                        f"violations {len(auditor.violations)}, "
+                        f"elapsed {elapsed:.0f}s"
+                    )
+                if observer is not None:
+                    observer.gauge("soak.rate", rate)
+                    observer.gauge("soak.elapsed", elapsed)
+    inbox.put(None)
+    thread.join()
+    outcome.violations = list(auditor.violations)
+    outcome.elapsed = time.monotonic() - started
+    if observer is not None:
+        observer.event(
+            "soak_finished",
+            instances=outcome.instances,
+            violations=len(outcome.violations),
+        )
+    return outcome

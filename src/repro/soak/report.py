@@ -1,0 +1,135 @@
+"""The soak trend artifact: ``benchmarks/results/soak.json``.
+
+Shaped exactly like every other bench result
+(:data:`repro.obs.schema.BENCH_RESULT_SCHEMA`), so ``repro obs
+validate`` and the CI schema gate cover it with zero new machinery.
+Word bills are campaign aggregates expressed in the scenario block (a
+soak mixes deployments, so per-``(n, t, f)`` bill rows would be
+fiction); wall-clock percentiles are the *per-instance commit
+latencies* — p99 instance latency is the headline the ISSUE asks for.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+from repro.obs.schema import SCHEMA_VERSION, validate_bench_result
+from repro.soak.fleet import SoakOutcome
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def _percentiles(samples: list[float]) -> dict | None:
+    if not samples:
+        return None
+    ordered = sorted(samples)
+
+    def pct(q: float) -> float:
+        return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+    return {
+        "unit": "seconds",
+        "repeats": len(ordered),
+        "percentiles": {"p50": pct(0.50), "p90": pct(0.90), "p99": pct(0.99)},
+    }
+
+
+def render_outcome(outcome: SoakOutcome) -> str:
+    """The human-readable campaign summary (also the .json sections)."""
+    s = outcome.settings
+    lines = [
+        f"soak: profile={s.profile} seed={s.master_seed} "
+        f"workers={s.workers} tick={s.tick_duration}",
+        f"  instances committed: {outcome.instances} "
+        f"({outcome.commits_per_sec:.2f}/s over {outcome.elapsed:.1f}s)",
+        f"  protocol mix: "
+        + ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(outcome.by_protocol.items())
+        ),
+        f"  chaos: {outcome.crashes} crashes, {outcome.rejoins} rejoins, "
+        f"{outcome.resets} resets, {outcome.reconnects} reconnects",
+        f"  words billed {outcome.words_billed} vs predicted "
+        f"{outcome.words_predicted} "
+        f"(delta {outcome.words_billed - outcome.words_predicted})",
+        f"  tick-escalation retries: {outcome.retries}, "
+        f"worker errors: {outcome.errors}",
+        f"  violations: {len(outcome.violations)}",
+    ]
+    if outcome.latencies:
+        clock = _percentiles(outcome.latencies)
+        p = clock["percentiles"]
+        lines.append(
+            f"  instance latency: p50 {p['p50']:.3f}s, "
+            f"p90 {p['p90']:.3f}s, p99 {p['p99']:.3f}s"
+        )
+    for violation in outcome.violations[:10]:
+        lines.append(
+            f"  [i{violation.index}] {violation.kind}: {violation.detail}"
+        )
+    if len(outcome.violations) > 10:
+        lines.append(f"  ... {len(outcome.violations) - 10} more")
+    return "\n".join(lines)
+
+
+def soak_result_doc(outcome: SoakOutcome) -> dict:
+    """The schema-shaped trend document for one campaign."""
+    s = outcome.settings
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "name": "soak",
+        "git_rev": _git_rev(),
+        "scenario": {
+            "master_seed": s.master_seed,
+            "chaos_profile": s.profile,
+            "workers": s.workers,
+            "tick_duration": s.tick_duration,
+            "target_instances": s.instances,
+            "target_duration": s.duration,
+            "instances": outcome.instances,
+            "elapsed_seconds": outcome.elapsed,
+            "commits_per_sec": outcome.commits_per_sec,
+            "by_protocol": dict(sorted(outcome.by_protocol.items())),
+            "crashes": outcome.crashes,
+            "rejoins": outcome.rejoins,
+            "resets": outcome.resets,
+            "reconnects": outcome.reconnects,
+            "words_billed": outcome.words_billed,
+            "words_predicted": outcome.words_predicted,
+            "messages": outcome.messages,
+            "retries": outcome.retries,
+            "worker_errors": outcome.errors,
+            "violations": len(outcome.violations),
+            "violation_kinds": sorted(
+                {v.kind for v in outcome.violations}
+            ),
+        },
+        "word_bills": [],
+        "wall_clock": _percentiles(outcome.latencies),
+        "sections": [render_outcome(outcome)],
+    }
+    errors = validate_bench_result(document)
+    if errors:
+        raise ValueError(f"soak produced an invalid result doc: {errors}")
+    return document
+
+
+def write_soak_result(outcome: SoakOutcome, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(soak_result_doc(outcome), indent=1))
+    return path

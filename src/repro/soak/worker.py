@@ -1,0 +1,280 @@
+"""One soak instance, end to end, inside one fleet worker process.
+
+:func:`run_instance` is the unit the multiprocessing pool maps over.
+It runs the spec **twice**:
+
+1. on the tick simulator — the deterministic oracle, producing the
+   *predicted* word bill and decision for this seed and fault plan;
+2. over real localhost TCP sockets (:func:`repro.asyncnet.tcp
+   .run_over_tcp`), with WAL-backed crash recovery when the plan
+   crashes a process — producing the *measured* facts.
+
+Both runtimes consume the identical seeded :class:`FaultPlan`, so any
+divergence between them is a bug in the stack, not noise — that
+equality is exactly what the auditor's no-double-billing and
+decision-divergence invariants assert.  The one legitimate source of
+divergence is wall-clock scheduling: a heavily loaded host can stall a
+process past a round boundary, regrouping deliveries.  The worker
+therefore retries a mismatched instance with a doubled (then
+quadrupled) tick before letting the facts stand — the same escalation
+``tests/test_tcp_transport.py`` uses — and reports the retry count so
+the fleet can surface scheduler pressure.
+
+Facts travel back to the coordinator as a picklable
+:class:`InstanceFacts`; worker-side exceptions are folded into
+``facts.error`` instead of poisoning the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+import traceback
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.config import RunParameters, SystemConfig
+from repro.soak.plan import SMR, WEAK_BA, InstanceSpec
+
+TICK_ESCALATION = (1.0, 2.0, 4.0)
+"""Tick multipliers tried before a billed-vs-predicted mismatch is
+allowed to reach the auditor (absorbs host-scheduling stalls, which a
+deterministic accounting bug by definition survives)."""
+
+INJECT_DOUBLE_BILL = "double-bill"
+"""Sabotage tag: bill one send twice, as a broken retransmission path
+would — must trip the auditor's ``double-billing`` invariant."""
+INJECT_SKIP_REJOIN_DEDUP = "skip-rejoin-dedup"
+"""Sabotage tag: count a rejoined process's resumed frames as fresh
+sends, as a skipped ``(sender, epoch)`` dedup window would — must trip
+the ``wal-highwater`` invariant."""
+
+
+@dataclass
+class InstanceFacts:
+    """Everything the auditor needs to know about one finished instance."""
+
+    index: int
+    protocol: str = ""
+    n: int = 0
+    t: int = 0
+    seed: int = 0
+    decision: str = ""
+    predicted_decision: str = ""
+    verify_ok: bool = False
+    verify_summary: str = ""
+    words_billed: int = 0
+    words_predicted: int = 0
+    ledger_recount: int = 0
+    messages: int = 0
+    signatures: int = 0
+    ledger_sends: dict[int, int] = field(default_factory=dict)
+    wal_sends: dict[int, int] = field(default_factory=dict)
+    """Per-pid WAL send-highwater totals (crash instances only)."""
+    phantom_sends: int = 0
+    crashes: int = 0
+    rejoins: int = 0
+    resets: int = 0
+    reconnects: int = 0
+    ticks: int = 0
+    latency: float = 0.0
+    retries: int = 0
+    inject: str | None = None
+    error: str | None = None
+
+
+def _decision_repr(result) -> str:
+    return repr(
+        [(pid, result.decisions.get(pid)) for pid in sorted(result.decisions)]
+    )
+
+
+def _validity_predicate(value: object) -> bool:
+    return isinstance(value, str)
+
+
+def _run_sim(spec: InstanceSpec, wal_dir: str):
+    """The oracle run: tick simulator, same seed and fault plan."""
+    from repro.core.validity import ExternalValidity
+    from repro.recovery.manager import RecoveryManager
+
+    config = SystemConfig(n=spec.n, t=spec.t)
+    recovery = None
+    if spec.plan is not None and spec.plan.crashes:
+        recovery = RecoveryManager(wal_dir)
+    params = RunParameters(
+        seed=spec.seed, fault_plan=spec.plan, recovery=recovery
+    )
+    if spec.protocol == WEAK_BA:
+        from repro.core.weak_ba import run_weak_ba
+
+        inputs = {pid: spec.inputs[pid] for pid in config.processes}
+        return run_weak_ba(
+            config,
+            inputs,
+            lambda suite, cfg: ExternalValidity(_validity_predicate),
+            seed=spec.seed,
+            params=params,
+        )
+    from repro.apps.smr import run_smr
+
+    commands = {pid: spec.commands[pid] for pid in config.processes}
+    return run_smr(
+        config,
+        commands,
+        num_slots=spec.num_slots,
+        seed=spec.seed,
+        params=params,
+    )
+
+
+def _run_tcp(spec: InstanceSpec, tick_duration: float, wal_dir: str):
+    """The measured run: real sockets, WAL recovery when crashing."""
+    from repro.apps.smr import smr_replica_protocol
+    from repro.asyncnet.tcp import run_over_tcp
+    from repro.core.validity import ExternalValidity
+    from repro.core.weak_ba import weak_ba_protocol
+    from repro.recovery.manager import RecoveryManager
+
+    config = SystemConfig(n=spec.n, t=spec.t)
+    recovery = None
+    if spec.plan is not None and spec.plan.crashes:
+        recovery = RecoveryManager(wal_dir)
+    if spec.protocol == WEAK_BA:
+        validity = ExternalValidity(_validity_predicate)
+        factories = {
+            pid: (
+                lambda ctx, value=spec.inputs[pid]: weak_ba_protocol(
+                    ctx, value, validity
+                )
+            )
+            for pid in config.processes
+        }
+    else:
+        factories = {
+            pid: (
+                lambda ctx, cmds=spec.commands[pid]: smr_replica_protocol(
+                    ctx, cmds, spec.num_slots
+                )
+            )
+            for pid in config.processes
+        }
+    result = asyncio.run(
+        run_over_tcp(
+            config,
+            factories,
+            seed=spec.seed,
+            tick_duration=tick_duration,
+            fault_plan=spec.plan,
+            recovery=recovery,
+        )
+    )
+    return result, recovery
+
+
+def _collect(
+    spec: InstanceSpec, result, recovery, predicted, retries: int
+) -> InstanceFacts:
+    from repro.recovery.wal import load_history
+    from repro.verify.checker import verify_run, verify_under_plan
+
+    ledger = result.ledger
+    if spec.plan is not None:
+        report = verify_under_plan(result, spec.plan)
+    else:
+        report = verify_run(result)
+    ledger_sends = Counter(
+        r.sender for r in ledger.records if r.sender_correct
+    )
+    wal_sends: dict[int, int] = {}
+    phantom = 0
+    crashes = rejoins = 0
+    if recovery is not None:
+        crashes = recovery.stats.crashes
+        rejoins = recovery.stats.restarts
+        phantom = sum(r.phantom_sends for r in recovery.stats.reports)
+        for pid in recovery.pids():
+            wal_sends[pid] = load_history(
+                recovery.wal_dir / f"p{pid}"
+            ).total_sends()
+    return InstanceFacts(
+        index=spec.index,
+        protocol=spec.protocol,
+        n=spec.n,
+        t=spec.t,
+        seed=spec.seed,
+        decision=_decision_repr(result),
+        predicted_decision=_decision_repr(predicted),
+        verify_ok=report.ok,
+        verify_summary=report.summary(),
+        words_billed=ledger.correct_words,
+        words_predicted=predicted.ledger.correct_words,
+        ledger_recount=sum(
+            r.words for r in ledger.records if r.sender_correct
+        ),
+        messages=ledger.correct_messages,
+        signatures=ledger.signature_count(),
+        ledger_sends=dict(ledger_sends),
+        wal_sends=wal_sends,
+        phantom_sends=phantom,
+        crashes=crashes,
+        rejoins=rejoins,
+        resets=len(spec.plan.resets) if spec.plan is not None else 0,
+        reconnects=result.trace.count("reconnected"),
+        ticks=getattr(result, "ticks", 0),
+        retries=retries,
+        inject=spec.inject,
+    )
+
+
+def _sabotage(facts: InstanceFacts) -> InstanceFacts:
+    """Apply the spec's injected accounting bug to otherwise-honest
+    facts.  The tampering models the real failure mode it is named
+    after, so the auditor test asserts the *specific* invariant fires.
+    """
+    if facts.inject == INJECT_DOUBLE_BILL:
+        # One send entered the ledger twice: both the running total and
+        # the recount grow, so only the prediction comparison can see it.
+        facts.words_billed += 1
+        facts.ledger_recount += 1
+    elif facts.inject == INJECT_SKIP_REJOIN_DEDUP:
+        # The rejoined incarnation's resumed frames were delivered (and
+        # billed) again: the ledger runs ahead of the WAL highwater.
+        pid = min(facts.wal_sends) if facts.wal_sends else 0
+        extra = max(1, facts.rejoins)
+        facts.ledger_sends[pid] = facts.ledger_sends.get(pid, 0) + extra
+        facts.words_billed += extra
+        facts.ledger_recount += extra
+    return facts
+
+
+def run_instance(spec: InstanceSpec) -> InstanceFacts:
+    """Run one spec in this worker process and report the facts."""
+    start = time.perf_counter()
+    try:
+        with tempfile.TemporaryDirectory(prefix="soak-") as tmp:
+            predicted = _run_sim(spec, f"{tmp}/sim")
+            facts = None
+            for attempt, multiplier in enumerate(TICK_ESCALATION):
+                result, recovery = _run_tcp(
+                    spec, spec.tick_duration * multiplier, f"{tmp}/tcp{attempt}"
+                )
+                facts = _collect(spec, result, recovery, predicted, attempt)
+                if (
+                    facts.words_billed == facts.words_predicted
+                    and facts.decision == facts.predicted_decision
+                ):
+                    break
+        facts = _sabotage(facts)
+    except Exception as exc:  # the pool must keep draining
+        facts = InstanceFacts(
+            index=spec.index,
+            protocol=spec.protocol,
+            inject=spec.inject,
+            error="".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip(),
+        )
+    facts.latency = time.perf_counter() - start
+    return facts

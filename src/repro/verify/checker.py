@@ -213,19 +213,25 @@ def verify_run(
             report.add("validity", f"decision {value!r} fails the predicate")
 
     # Decide-at-most-once (Lemma 23 / 29): the terminal `decided` event
-    # fires exactly once per correct process per protocol scope.
+    # fires exactly once per correct process per protocol *instance*.
+    # Instances are identified by session when the event carries one —
+    # a composition like SMR legitimately runs one BB per slot under the
+    # same scope path, distinguished only by session (the soak fleet
+    # flagged multi-slot runs as double-decides before sessions were
+    # stamped into the event).
     report.checked.append("decide-once")
     per_process_scope: dict[tuple, int] = {}
     for event in result.trace.named("decided"):
         if event.pid in result.corrupted:
             continue
-        key = (event.pid, event.scope)
+        key = (event.pid, event.scope, event.get("session"))
         per_process_scope[key] = per_process_scope.get(key, 0) + 1
-    for (pid, scope), count in per_process_scope.items():
+    for (pid, scope, session), count in per_process_scope.items():
         if count > 1:
+            where = scope if session is None else f"{scope} [{session}]"
             report.add(
                 "decide-once",
-                f"process {pid} emitted {count} decisions in scope {scope}",
+                f"process {pid} emitted {count} decisions in scope {where}",
             )
 
     # Lemma 6.

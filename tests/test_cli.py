@@ -141,3 +141,87 @@ class TestModelChecking:
         out = capsys.readouterr().out
         assert "reproduced deterministically" in out
         assert "[agreement]" in out
+
+
+class TestRecoverDiagnostics:
+    """`repro recover` must fail loudly — one diagnostic line, exit 1 —
+    on the operator mistakes a long soak makes routine."""
+
+    def test_missing_stem_is_diagnosed(self, tmp_path, capsys):
+        stem = str(tmp_path / "never-written" / "p3")
+        assert main(["recover", "inspect", stem]) == 1
+        assert "no WAL or snapshot" in capsys.readouterr().out
+        assert main(["recover", "replay", stem]) == 1
+        assert "no WAL or snapshot" in capsys.readouterr().out
+
+    def test_empty_wal_is_diagnosed(self, tmp_path, capsys):
+        (tmp_path / "p0.wal").write_bytes(b"")
+        stem = str(tmp_path / "p0")
+        assert main(["recover", "inspect", stem]) == 1
+        assert "died before its first flush" in capsys.readouterr().out
+        assert main(["recover", "replay", stem]) == 1
+        assert "died before its first flush" in capsys.readouterr().out
+
+    def test_directory_stem_lists_the_stems_inside(self, tmp_path, capsys):
+        (tmp_path / "p0.wal").write_bytes(b"")
+        (tmp_path / "p1.wal").write_bytes(b"")
+        assert main(["recover", "inspect", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "is a directory, not a process stem" in out
+        assert "p0, p1" in out
+        assert main(["recover", "replay", str(tmp_path)]) == 1
+        assert "is a directory" in capsys.readouterr().out
+
+    def test_fully_torn_wal_fails_both_commands(self, tmp_path, capsys):
+        """Garbage from byte 0: no valid prefix to recover, so inspect
+        reports FATAL damage and both commands exit nonzero."""
+        (tmp_path / "p0.wal").write_bytes(b"\xff\xde\xad\xbe\xef" * 20)
+        stem = str(tmp_path / "p0")
+        assert main(["recover", "inspect", stem]) == 1
+        out = capsys.readouterr().out
+        assert "damage (FATAL)" in out and "UNLOADABLE" in out
+        assert main(["recover", "replay", stem]) == 1
+        assert "replay failed" in capsys.readouterr().out
+
+
+class TestSoakCli:
+    def test_sabotaged_soak_fails_writes_artifact_and_replays(
+        self, tmp_path, capsys
+    ):
+        out_json = tmp_path / "soak.json"
+        arts = tmp_path / "arts"
+        assert main(
+            ["soak", "--seed", "5", "--instances", "2", "--workers", "1",
+             "--chaos-profile", "calm", "--inject", "0:double-bill",
+             "--out", str(out_json), "--artifacts-dir", str(arts)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "instances committed: 2" in out
+        assert "SOAK FAILED: 1 violation(s)" in out
+        assert out_json.exists()
+        artifact = arts / "soak-violation-i0.json"
+        assert artifact.exists()
+        assert main(["obs", "validate", str(out_json)]) == 0
+        capsys.readouterr()
+
+        assert main(["soak", "--replay", str(artifact)]) == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_honest_soak_passes(self, tmp_path, capsys):
+        assert main(
+            ["soak", "--seed", "5", "--instances", "1", "--workers", "1",
+             "--chaos-profile", "calm",
+             "--out", str(tmp_path / "soak.json"),
+             "--artifacts-dir", str(tmp_path / "arts")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "violations: 0" in out
+        assert "trend artifact written" in out
+
+    def test_bad_inject_spec_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--inject wants"):
+            main(
+                ["soak", "--instances", "1", "--inject", "frogs",
+                 "--out", str(tmp_path / "s.json"),
+                 "--artifacts-dir", str(tmp_path / "a")]
+            )

@@ -438,3 +438,37 @@ class TestTcpBackpressure:
             await peer.close()
 
         run(scenario())
+
+
+class TestReconnectJitter:
+    """The per-peer reconnect backoff is scaled by a seeded jitter draw:
+    deterministic for a given (seed, sender, peer), de-synchronized
+    across peers — no thundering herd after a healed partition, no loss
+    of trace reproducibility."""
+
+    @staticmethod
+    def _draws(seed, sender_pid, peer_pid, count=8):
+        from repro.asyncnet.tcp import JITTER_SPREAD, _Peer
+
+        peer = _Peer(
+            "127.0.0.1", 1, sender_pid=sender_pid, epoch=0,
+            peer_pid=peer_pid, seed=seed,
+        )
+        low, high = JITTER_SPREAD
+        return [peer._jitter_rng.uniform(low, high) for _ in range(count)]
+
+    def test_same_seed_and_edge_draw_identical_schedules(self):
+        assert self._draws(42, 0, 3) == self._draws(42, 0, 3)
+
+    def test_distinct_edges_and_seeds_desynchronize(self):
+        baseline = self._draws(42, 0, 3)
+        assert self._draws(42, 0, 2) != baseline  # other peer
+        assert self._draws(42, 1, 3) != baseline  # other sender
+        assert self._draws(43, 0, 3) != baseline  # other run seed
+
+    def test_draws_stay_inside_the_spread(self):
+        from repro.asyncnet.tcp import JITTER_SPREAD
+
+        low, high = JITTER_SPREAD
+        for draw in self._draws(7, 2, 4, count=200):
+            assert low <= draw <= high

@@ -380,3 +380,64 @@ class TestBenchSchema:
         assert "schema_version" in joined
         assert "name" in joined and "scenario" in joined
         assert "word_bills" in joined
+
+
+class TestEmptyRunAudit:
+    """The empty-run path: a run with no planned phases summarizes to
+    ``silent_ratio: None``, and that ``None`` must survive the whole
+    trail — render, schema validation, and ``publish`` — instead of
+    failing at whichever layer meets it first."""
+
+    def test_empty_export_summarizes_and_renders_with_none_ratio(self):
+        raw = {"records": [], "events": [], "meta": {}, "summary": {}}
+        summary = summarize_export(raw)
+        assert summary["phases"]["silent_ratio"] is None
+        rendered = render_summary(summary)
+        assert "silent ratio" not in rendered  # no fake 0.0% for an empty run
+        assert "(no phase-stamped traffic)" in rendered
+
+    def test_none_scenario_values_pass_schema_validation(self):
+        doc = {
+            "schema_version": 1,
+            "name": "empty-run",
+            "git_rev": None,
+            "scenario": {"silent_ratio": None, "nested": {"also": None}},
+            "word_bills": [],
+            "wall_clock": None,
+            "sections": ["empty"],
+        }
+        assert validate_bench_result(doc) == []
+
+    def test_non_json_scenario_values_are_schema_errors_not_crashes(self):
+        doc = {
+            "schema_version": 1,
+            "name": "bad",
+            "git_rev": None,
+            "scenario": {"ratio": {1: "non-string key"}, "obj": object()},
+            "word_bills": [],
+            "wall_clock": None,
+            "sections": [],
+        }
+        errors = validate_bench_result(doc)
+        assert any("key 1" in e for e in errors)
+        assert any("scenario.obj" in e for e in errors)
+
+    def test_publish_round_trips_a_none_bearing_scenario(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import benchmarks._harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        harness.publish(
+            "empty-run", "no traffic",
+            scenario={"silent_ratio": None}, wall_clock=None,
+        )
+        document = json.loads((tmp_path / "empty-run.json").read_text())
+        assert document["scenario"]["silent_ratio"] is None
+        assert validate_bench_result(document) == []
+
+    def test_time_percentiles_refuses_zero_repeats(self):
+        from benchmarks._harness import time_percentiles
+
+        with pytest.raises(ValueError, match="wall_clock=None"):
+            time_percentiles(lambda: None, repeats=0)
