@@ -26,6 +26,7 @@ from repro.fallback.dolev_strong import dolev_strong_protocol
 from repro.fallback.recursive_ba import fallback_ba
 from repro.runtime.result import RunResult
 from repro.runtime.scheduler import Simulation
+from repro.runtime.synchrony import SynchronyModel, parse_synchrony
 
 
 @dataclass(frozen=True)
@@ -91,9 +92,15 @@ def _run_with_strategy(
     protocol_factory: Callable[[ProcessId], object],
     *,
     max_ticks: int = 200_000,
+    synchrony: SynchronyModel | None = None,
 ) -> SweepPoint:
     plan: CorruptionPlan = strategy.plan(config, f, seed)
-    simulation = Simulation(config, seed=seed, max_ticks=max_ticks)
+    # Reseed the timing model per grid point so seeded sub-schedules
+    # (pre-GST delays, link latencies, drift) vary with the sweep seed.
+    model = synchrony.reseeded(seed) if synchrony is not None else None
+    simulation = Simulation(
+        config, seed=seed, max_ticks=max_ticks, synchrony=model
+    )
     apply_strategy(simulation, plan, protocol_factory)
     result = simulation.run()
     return _measure(protocol, result, seed, config.n, config.t)
@@ -120,6 +127,7 @@ def sweep_byzantine_broadcast(
     strategy: AdversaryStrategy | None = None,
     seeds: Sequence[int] = (0,),
     value: object = "payload",
+    synchrony: SynchronyModel | None = None,
 ) -> list[SweepPoint]:
     """Run adaptive BB over the grid; the sender (process 0) stays correct."""
     points = []
@@ -136,6 +144,7 @@ def sweep_byzantine_broadcast(
                     lambda pid: lambda ctx: byzantine_broadcast_protocol(
                         ctx, 0, value
                     ),
+                    synchrony=synchrony,
                 )
             )
     return points
@@ -148,6 +157,7 @@ def sweep_weak_ba(
     strategy: AdversaryStrategy | None = None,
     seeds: Sequence[int] = (0,),
     value: object = "proposal",
+    synchrony: SynchronyModel | None = None,
 ) -> list[SweepPoint]:
     """Run weak BA (all correct processes propose ``value``)."""
     validity = ExternalValidity(lambda v: isinstance(v, str))
@@ -163,6 +173,7 @@ def sweep_weak_ba(
                     f,
                     seed,
                     lambda pid: lambda ctx: weak_ba_protocol(ctx, value, validity),
+                    synchrony=synchrony,
                 )
             )
     return points
@@ -175,6 +186,7 @@ def sweep_strong_ba(
     strategy: AdversaryStrategy | None = None,
     seeds: Sequence[int] = (0,),
     inputs: Callable[[ProcessId], int] = lambda pid: 1,
+    synchrony: SynchronyModel | None = None,
 ) -> list[SweepPoint]:
     """Run Algorithm 5 (binary strong BA)."""
     points = []
@@ -191,6 +203,7 @@ def sweep_strong_ba(
                     lambda pid: lambda ctx, v=inputs(pid): strong_ba_protocol(
                         ctx, v
                     ),
+                    synchrony=synchrony,
                 )
             )
     return points
@@ -203,6 +216,7 @@ def sweep_fallback_ba(
     strategy: AdversaryStrategy | None = None,
     seeds: Sequence[int] = (0,),
     value: object = "v",
+    synchrony: SynchronyModel | None = None,
 ) -> list[SweepPoint]:
     """Run the quadratic ``Afallback`` directly (the Momose–Ren row)."""
     points = []
@@ -219,6 +233,7 @@ def sweep_fallback_ba(
                     lambda pid: lambda ctx: fallback_ba(
                         ctx, value, round_ticks=1
                     ),
+                    synchrony=synchrony,
                 )
             )
     return points
@@ -228,18 +243,22 @@ _SWEEPS: dict[str, Callable[..., list["SweepPoint"]]] = {}
 """Sweep functions by protocol key, for the parallel driver and CLI."""
 
 
-def _sweep_task(args: tuple[str, int, int, int]) -> SweepPoint:
+def _sweep_task(args: tuple[str, int, int, int, str | None]) -> SweepPoint:
     """Run one grid point of a named sweep (worker entry point).
 
     Module-level so multiprocessing can pickle it; the sweep's default
-    adversary strategy is rebuilt inside the worker.  One point per
-    task keeps shards balanced — large-``n`` runs dominate, and a
-    per-``n`` split would leave workers idle behind the biggest one.
+    adversary strategy — and the synchrony model, shipped as its CLI
+    spec string — are rebuilt inside the worker.  One point per task
+    keeps shards balanced — large-``n`` runs dominate, and a per-``n``
+    split would leave workers idle behind the biggest one.
     """
-    protocol, n, f, seed = args
+    protocol, n, f, seed, spec = args
     sweep = _SWEEPS[protocol]
     config = SystemConfig.with_optimal_resilience(n)
-    (point,) = sweep([n], fs=lambda _config: [f], seeds=[seed])
+    model = parse_synchrony(spec) if spec is not None else None
+    (point,) = sweep(
+        [n], fs=lambda _config: [f], seeds=[seed], synchrony=model
+    )
     assert point.n == config.n and point.seed == seed
     return point
 
@@ -251,9 +270,11 @@ def sweep_parallel(
     fs: Callable[[SystemConfig], Iterable[int]] | None = None,
     seeds: Sequence[int] = (0,),
     jobs: int = 1,
+    synchrony: str | None = None,
 ) -> list[SweepPoint]:
     """Run a named sweep with its grid points fanned out over ``jobs``
-    worker processes.
+    worker processes.  ``synchrony`` is a :func:`parse_synchrony` spec
+    string (specs pickle across workers; model objects need not).
 
     Points come back in the same (n, f, seed) order as the serial sweep
     functions produce, and each point's run is bit-identical to its
@@ -273,12 +294,14 @@ def sweep_parallel(
             f"unknown sweep protocol {protocol!r}; "
             f"known: {sorted(_SWEEPS)}"
         )
+    if synchrony is not None:
+        parse_synchrony(synchrony)  # fail fast, before any worker spawns
     from repro.runtime.pool import parallel_map
 
-    tasks: list[tuple[str, int, int, int]] = []
+    tasks: list[tuple[str, int, int, int, str | None]] = []
     for config, f in _default_grid(ns, fs):
         for seed in seeds:
-            tasks.append((protocol, config.n, f, seed))
+            tasks.append((protocol, config.n, f, seed, synchrony))
     return parallel_map(_sweep_task, tasks, jobs)
 
 
@@ -289,6 +312,7 @@ def sweep_dolev_strong(
     strategy: AdversaryStrategy | None = None,
     seeds: Sequence[int] = (0,),
     value: object = "payload",
+    synchrony: SynchronyModel | None = None,
 ) -> list[SweepPoint]:
     """Run the Dolev–Strong baseline (sender 0 stays correct)."""
     points = []
@@ -303,6 +327,7 @@ def sweep_dolev_strong(
                     f,
                     seed,
                     lambda pid: lambda ctx: dolev_strong_protocol(ctx, 0, value),
+                    synchrony=synchrony,
                 )
             )
     return points

@@ -14,6 +14,22 @@ optional artificial ``latency`` (keep it under ``tick_duration``, the
 synchrony bound).  Word accounting and tracing reuse the simulator's
 :class:`~repro.metrics.words.WordLedger` and
 :class:`~repro.runtime.trace.Trace`.
+
+Synchrony models
+----------------
+
+A non-trivial :class:`~repro.runtime.synchrony.SynchronyModel` changes
+*when messages are due*, not how rounds are paced: the wall-clock
+drivers keep their absolute shared clock (one round per
+``tick_duration``), and the model's delivery law — ``delta`` bounds,
+GST partial synchrony with seeded pre-GST delays — is realized through
+the ``delivered_at`` stamp that :func:`_drain_due` partitions on, so a
+held-back message simply waits in ``pending`` for its due round.  Tick
+coordinates scale by ``delta`` (round ``k`` sends at tick ``k *
+delta``), which keeps the stamps numerically identical to the tick
+scheduler's.  Certificate-early round advancement is a simulator
+feature: over real transports rounds are paced by the shared clock
+alone, which is exactly the timeout half of certificate-∨-timeout.
 """
 
 from __future__ import annotations
@@ -34,6 +50,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.words import WordLedger
 from repro.obs.observer import Observer, active_or_none
 from repro.runtime.envelope import Envelope
+from repro.runtime.synchrony import LOCKSTEP, SynchronyModel
 from repro.runtime.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -106,11 +123,23 @@ class AsyncNetwork:
         fault_plan: FaultPlan | None = None,
         observer: Observer | None = None,
         recovery: "RecoveryManager | None" = None,
+        synchrony: SynchronyModel | None = None,
     ) -> None:
         if fault_plan is not None and fault_plan.crashes and recovery is None:
             raise SchedulerError(
                 "the fault plan schedules crash/restart faults but the "
                 "network has no RecoveryManager (pass recovery=...)"
+            )
+        self.synchrony = synchrony if synchrony is not None else LOCKSTEP
+        if not isinstance(self.synchrony, SynchronyModel):
+            raise SchedulerError(
+                f"synchrony must be a SynchronyModel, got "
+                f"{type(self.synchrony).__name__}"
+            )
+        if not self.synchrony.trivial and recovery is not None:
+            raise SchedulerError(
+                "crash recovery requires the lockstep delta=1 model: WAL "
+                "replay is round-aligned and a paced delivery law is not"
             )
         if latency >= tick_duration:
             raise SchedulerError(
@@ -140,6 +169,56 @@ class AsyncNetwork:
         self.corrupted: set[ProcessId] = set()
         self.recovered: set[ProcessId] = set()
         self.global_tick = 0
+        self._edge_seq: dict[tuple[ProcessId, ProcessId, int], int] = {}
+        """Per-(edge, round) send counter: the synchrony model's seeded
+        delivery draws are pure in ``(sender, receiver, sent_at, seq)``."""
+        self._timers: set[asyncio.TimerHandle] = set()
+        """Outstanding sub-round delivery timers (fault-plan delays).
+        Cancelled by :meth:`cancel_timers` on teardown so no callback
+        outlives its run."""
+
+    def delivery_round(
+        self, sender: ProcessId, to: ProcessId, tick: int
+    ) -> int:
+        """The round a message sent in round ``tick`` is due — ``tick +
+        1`` under the trivial model, otherwise the model's delivery law
+        with round coordinates scaled by ``delta`` (round ``k`` = tick
+        ``k * delta``), rounded up to the boundary the delivery tick
+        falls inside."""
+        if self.synchrony.trivial:
+            return tick + 1
+        delta = self.synchrony.delta
+        edge = (sender, to, tick)
+        seq = self._edge_seq.get(edge, 0)
+        self._edge_seq[edge] = seq + 1
+        delivered_tick = self.synchrony.delivery_tick(
+            sender, to, tick * delta, seq
+        )
+        return max(tick + 1, -(-delivered_tick // delta))
+
+    def schedule_delivery(
+        self, delay: float, deliver: Callable[[], None]
+    ) -> None:
+        """Run ``deliver`` after ``delay`` seconds on a tracked timer
+        (immediately when the delay is zero)."""
+        if delay <= 0:
+            deliver()
+            return
+        loop = asyncio.get_running_loop()
+        handle: asyncio.TimerHandle | None = None
+
+        def fire() -> None:
+            self._timers.discard(handle)
+            deliver()
+
+        handle = loop.call_later(delay, fire)
+        self._timers.add(handle)
+
+    def cancel_timers(self) -> None:
+        """Teardown: cancel every outstanding delivery timer."""
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
 
     def queue_for(self, pid: ProcessId) -> asyncio.Queue:
         if pid not in self.queues:
@@ -187,7 +266,10 @@ class AsyncNetwork:
             receiver=to,
             payload=payload,
             sent_at=tick,
-            delivered_at=tick + 1,
+            delivered_at=(
+                tick + 1 if sender == to
+                else self.delivery_round(sender, to, tick)
+            ),
         )
         if self.injector is None:
             copies = [0.0]
@@ -204,11 +286,7 @@ class AsyncNetwork:
         queue = self.queue_for(to)
         for delay_fraction in copies:
             delay = self.latency + delay_fraction * self.tick_duration
-            if delay > 0:
-                loop = asyncio.get_running_loop()
-                loop.call_later(delay, queue.put_nowait, envelope)
-            else:
-                queue.put_nowait(envelope)
+            self.schedule_delivery(delay, lambda: queue.put_nowait(envelope))
 
 
 class AsyncContext:
@@ -594,6 +672,7 @@ async def run_async(
     fault_plan: FaultPlan | None = None,
     observer: Observer | None = None,
     recovery: "RecoveryManager | None" = None,
+    synchrony: SynchronyModel | None = None,
 ) -> AsyncRunResult:
     """Run one protocol instance over asyncio.
 
@@ -606,7 +685,9 @@ async def run_async(
     (see :mod:`repro.faults`); ``recovery`` gives every correct process
     a write-ahead log and is required when the plan schedules
     crash/restart faults (the crashed task discards its generator, goes
-    silent for the down window, replays its WAL, and rejoins).
+    silent for the down window, replays its WAL, and rejoins);
+    ``synchrony`` installs a non-default delivery law (module
+    docstring) — exclusive with ``recovery``.
     """
     byzantine = byzantine or {}
     loop = asyncio.get_running_loop()
@@ -619,6 +700,7 @@ async def run_async(
         fault_plan=fault_plan,
         observer=observer,
         recovery=recovery,
+        synchrony=synchrony,
     )
     if recovery is not None:
         recovery.describe(n=config.n, t=config.t, seed=seed)
@@ -652,6 +734,7 @@ async def run_async(
         for task in tasks:
             task.cancel()
         await asyncio.gather(*tasks, *behavior_tasks, return_exceptions=True)
+        network.cancel_timers()
         if recovery is not None:
             recovery.close()
             if network.observer is not None:

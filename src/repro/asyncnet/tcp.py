@@ -81,6 +81,7 @@ from repro.runtime.envelope import Envelope
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.recovery.manager import RecoveryManager
+    from repro.runtime.synchrony import SynchronyModel
 
 _HEADER = struct.Struct(">I")
 
@@ -179,6 +180,11 @@ class _Peer:
         self._pump_task: asyncio.Task | None = None
         self._ack_task: asyncio.Task | None = None
         self._reconnect_task: asyncio.Task | None = None
+        self._retired_acks: list[asyncio.Task] = []
+        """Ack loops cancelled by a re-announce (reconnect storm).  A
+        cancelled-but-never-awaited task can outlive ``run_over_tcp``
+        and leak its exception past the run, so :meth:`close` reaps
+        these too."""
         self._conn_lock = asyncio.Lock()
         self._closing = False
         self._resync = False
@@ -214,13 +220,18 @@ class _Peer:
 
     async def close(self) -> None:
         self._closing = True
-        for task in (self._pump_task, self._ack_task, self._reconnect_task):
+        tasks = [self._pump_task, self._ack_task, self._reconnect_task]
+        tasks.extend(self._retired_acks)
+        for task in tasks:
             if task is not None:
                 task.cancel()
-                await asyncio.gather(task, return_exceptions=True)
+        live = [t for t in tasks if t is not None]
+        if live:
+            await asyncio.gather(*live, return_exceptions=True)
         self._pump_task = None
         self._ack_task = None
         self._reconnect_task = None
+        self._retired_acks = []
         await self._discard_writer()
 
     # ------------------------------------------------------------------
@@ -261,6 +272,13 @@ class _Peer:
         self._resync = True
         if self._ack_task is not None:
             self._ack_task.cancel()
+            # Can't await here (sync method): park it for close() to
+            # reap, pruning the already-finished ones so a reset storm
+            # doesn't grow the list without bound.
+            self._retired_acks = [
+                t for t in self._retired_acks if not t.done()
+            ]
+            self._retired_acks.append(self._ack_task)
         self._ack_task = asyncio.create_task(self._ack_loop(self.reader))
 
     async def _ack_loop(self, reader: asyncio.StreamReader) -> None:
@@ -548,7 +566,6 @@ class TcpProcessNode:
             peer.inject_reset()
             if obs is not None:
                 obs.on_fault("reset")
-        loop = asyncio.get_running_loop()
         copies = injector.copies(self.pid, envelope.receiver, envelope.sent_at)
         if obs is not None:
             if not copies:
@@ -560,10 +577,11 @@ class TcpProcessNode:
                     obs.on_fault("delayed")
         for delay_fraction in copies:
             delay = delay_fraction * self.network.tick_duration
-            if delay > 0:
-                loop.call_later(delay, self._dispatch, envelope)
-            else:
-                self._dispatch(envelope)
+            # Tracked timers: the network cancels them on teardown, so a
+            # delayed copy never fires into a closed transport.
+            self.network.schedule_delivery(
+                delay, lambda: self._dispatch(envelope)
+            )
 
     def _dispatch(self, envelope: Envelope) -> None:
         if envelope.receiver == self.pid:
@@ -647,7 +665,10 @@ class _TcpContext(AsyncContext):
                 receiver=to,
                 payload=payload,
                 sent_at=self.now,
-                delivered_at=self.now + 1,
+                delivered_at=(
+                    self.now + 1 if to == self.pid
+                    else self._network.delivery_round(self.pid, to, self.now)
+                ),
             )
         )
 
@@ -719,6 +740,7 @@ async def run_over_tcp(
     timeout: float | None = 120.0,
     observer: "Observer | None" = None,
     recovery: "RecoveryManager | None" = None,
+    synchrony: "SynchronyModel | None" = None,
 ) -> AsyncRunResult:
     """Run one protocol instance over localhost TCP sockets.
 
@@ -739,7 +761,7 @@ async def run_over_tcp(
     started = loop.time()
     network = AsyncNetwork(
         config, seed=seed, tick_duration=tick_duration, fault_plan=fault_plan,
-        observer=observer, recovery=recovery,
+        observer=observer, recovery=recovery, synchrony=synchrony,
     )
     if recovery is not None:
         recovery.describe(n=config.n, t=config.t, seed=seed)
@@ -782,6 +804,7 @@ async def run_over_tcp(
             task.cancel()
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
+        network.cancel_timers()
         for node in nodes.values():
             await node.close_outgoing()
         for node in nodes.values():

@@ -50,6 +50,7 @@ from repro.core.validity import ExternalValidity
 from repro.core.weak_ba import run_weak_ba
 from repro.fallback.dolev_strong import run_dolev_strong
 from repro.fallback.recursive_ba import run_fallback_ba
+from repro.runtime.synchrony import parse_synchrony
 
 ADVERSARIES = {
     "silent": lambda pid: SilentBehavior(),
@@ -159,8 +160,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.recovery import RecoveryManager
 
         recovery = RecoveryManager(args.wal_dir, fsync=args.fsync)
+    synchrony = (
+        parse_synchrony(args.synchrony) if args.synchrony is not None else None
+    )
     params = RunParameters(
-        seed=args.seed, fault_plan=plan, observer=observer, recovery=recovery
+        seed=args.seed, fault_plan=plan, observer=observer, recovery=recovery,
+        synchrony=synchrony,
     )
     if args.protocol == "bb":
         result = run_byzantine_broadcast(
@@ -268,6 +273,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             fs=lambda c: range(0, min(args.max_f, c.t) + 1),
             seeds=tuple(range(args.seeds)),
             jobs=args.jobs,
+            synchrony=args.synchrony,
         )
     else:
         sweep = SWEEPS[args.protocol]
@@ -275,6 +281,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             args.ns,
             fs=lambda c: range(0, min(args.max_f, c.t) + 1),
             seeds=tuple(range(args.seeds)),
+            synchrony=(
+                parse_synchrony(args.synchrony)
+                if args.synchrony is not None
+                else None
+            ),
         )
     print(render_points(points))
     failure_free = [p for p in points if p.f == 0]
@@ -755,6 +766,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash process PID at tick AT and restart it (from its WAL) "
         "at tick RESTART; repeatable",
     )
+    run_parser.add_argument(
+        "--synchrony", default=None, metavar="SPEC",
+        help="timing model: 'lockstep[:delta]' (default lockstep:1) or "
+        "'gst:<tick>[:delta]' for partial synchrony with a global "
+        "stabilization time (incompatible with --wal-dir)",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     sweep_parser = sub.add_parser("sweep", help="sweep (n, f) and fit slopes")
@@ -766,6 +783,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes fanning out the grid points (1 = serial; "
         "each point's run is identical either way)",
+    )
+    sweep_parser.add_argument(
+        "--synchrony", default=None, metavar="SPEC",
+        help="timing model for every grid point: 'lockstep[:delta]' or "
+        "'gst:<tick>[:delta]' (e.g. `repro sweep weak-ba --synchrony "
+        "gst:4`); the model is reseeded with each point's seed",
     )
     sweep_parser.set_defaults(func=cmd_sweep)
 

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
     from repro.obs.observer import Observer
     from repro.recovery.manager import RecoveryManager
+    from repro.runtime.synchrony import SynchronyModel
 
 ProcessId = int
 """Processes are identified by integers ``0 .. n-1``."""
@@ -189,6 +190,12 @@ class RunParameters:
         every correct process a write-ahead log.  Required when the
         fault plan schedules crash/restart faults — a crashed process
         can only rejoin by replaying durable state.
+    synchrony:
+        Optional :class:`~repro.runtime.synchrony.SynchronyModel`
+        governing delivery ticks and round advancement (``None`` = the
+        paper's lockstep ``delta=1``).  Non-trivial models run the
+        paced certificate-∨-timeout scheduler and are mutually
+        exclusive with ``recovery``.
     """
 
     seed: int = 0
@@ -197,6 +204,7 @@ class RunParameters:
     fault_plan: "FaultPlan | None" = None
     observer: "Observer | None" = None
     recovery: "RecoveryManager | None" = None
+    synchrony: "SynchronyModel | None" = None
 
     def phases_for(self, config: SystemConfig) -> int:
         """Resolve ``num_phases`` against a concrete configuration."""

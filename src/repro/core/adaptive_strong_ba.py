@@ -264,6 +264,7 @@ def run_adaptive_strong_ba(
         config, seed=seed, max_ticks=params.max_ticks,
         fault_plan=params.fault_plan, observer=params.observer,
         recovery=params.recovery,
+        synchrony=params.synchrony,
     )
     if params.recovery is not None:
         params.recovery.describe(

@@ -752,6 +752,7 @@ def run_weak_ba(
         config, seed=seed, max_ticks=params.max_ticks,
         fault_plan=params.fault_plan, observer=params.observer,
         recovery=params.recovery,
+        synchrony=params.synchrony,
     )
     validity = validity_factory(simulation.suite, config)
     if params.recovery is not None:

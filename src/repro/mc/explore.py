@@ -192,6 +192,11 @@ def _state_digest(
             for tick, entries in simulation._scheduled_corruptions.items()
         )),
         choices.drops_used,
+        # Paced-round state (round index, timeout, retries, buffered
+        # deliveries per process) — () under the trivial lockstep model.
+        # Without it, two psync states with equal wheels but different
+        # round clocks would alias and pruning would be unsound.
+        simulation.pacer_fingerprint(),
         tuple(sorted(
             (pid, repr(value)) for pid, value in simulation._decisions.items()
         )),

@@ -43,6 +43,7 @@ from repro.errors import ModelCheckError
 from repro.mc.choices import ChoiceSource, ChoiceSpace
 from repro.runtime.result import RunResult
 from repro.runtime.scheduler import Simulation
+from repro.runtime.synchrony import PartialSynchrony
 from repro.verify.checker import Report, adaptive_word_budget, verify_run
 
 
@@ -292,8 +293,141 @@ def _weak_ba_scenario(
     )
 
 
+# ----------------------------------------------------------------------
+# Partial synchrony: the pre-GST schedule is the adversary
+# ----------------------------------------------------------------------
+
+_PSYNC_ADVERSARIES = ("none", "choose-silent")
+
+
+def _psync_weak_ba_scenario(
+    *,
+    n: int = 4,
+    t: int | None = None,
+    gst: int = 1,
+    delta: int = 1,
+    pre_gst_levels: int = 2,
+    num_phases: int = 1,
+    adversary: str = "none",
+    input_mode: str = "distinct",
+    post_gst_budget: int = 80,
+    reorder: bool = False,
+    perm_cap: int = 2,
+    word_constant: float = 30.0,
+) -> Scenario:
+    """Weak BA under :class:`~repro.runtime.synchrony.PartialSynchrony`.
+
+    The open decisions are the *pre-GST delivery schedule*: every
+    message sent before ``gst`` becomes a ``"net-delay"`` choice point
+    with ``pre_gst_levels`` delivery ticks spanning earliest-possible
+    through held-until-stabilization, so exhaustive exploration proves
+    agreement/validity never depend on pre-GST timing — as long as GST
+    lands within the protocol's decision horizon.  Beyond it the
+    synchronous agreement argument genuinely fails — the adversary
+    holds certificates hostage across round boundaries, splitting runs
+    commit-vs-⊥ and even commit-vs-commit — while validity and every
+    other checked property survive arbitrary timing;
+    ``tests/test_mc_psync.py`` pins both regimes and
+    ``docs/partial_synchrony.md`` discusses why the split motivates the
+    partial-synchrony successor protocols.  The liveness half of the
+    GST contract is the horizon itself:
+    ``max_ticks = gst + post_gst_budget``, and a truncated run is
+    reported as a termination violation (*not* stripped the way the
+    lockstep scenario strips it), so "every explored schedule decides
+    within a bounded number of post-GST ticks" is checked, not assumed.
+
+    ``adversary="choose-silent"`` additionally makes the identity of
+    one silenced process (or no corruption) a choice point, composing
+    ``f <= 1`` crash-silence with adversarial timing.
+    """
+    if adversary not in _PSYNC_ADVERSARIES:
+        raise ModelCheckError(
+            f"unknown adversary {adversary!r}; known: {_PSYNC_ADVERSARIES}"
+        )
+
+    params = dict(
+        n=n,
+        t=t,
+        gst=gst,
+        delta=delta,
+        pre_gst_levels=pre_gst_levels,
+        num_phases=num_phases,
+        adversary=adversary,
+        input_mode=input_mode,
+        post_gst_budget=post_gst_budget,
+        reorder=reorder,
+        perm_cap=perm_cap,
+        word_constant=word_constant,
+    )
+    max_ticks = gst + post_gst_budget
+    space = ChoiceSpace(reorder=reorder, perm_cap=perm_cap)
+    config = SystemConfig(n=n, t=t if t is not None else (n - 1) // 2)
+    validity = ExternalValidity(lambda v: isinstance(v, str))
+
+    def build(choices: ChoiceSource) -> Simulation:
+        simulation = Simulation(
+            config,
+            seed=0,
+            max_ticks=max_ticks,
+            choices=choices,
+            stop_on_horizon=True,
+            synchrony=PartialSynchrony(
+                gst=gst, delta=delta, pre_gst_levels=pre_gst_levels
+            ),
+        )
+        byzantine: dict[int, Any] = {}
+        if adversary == "choose-silent":
+            pick = choices.choose("corrupt", (), n + 1)
+            if pick:
+                byzantine[pick - 1] = SilentBehavior()
+        for pid in config.processes:
+            if pid in byzantine:
+                simulation.add_byzantine(pid, byzantine[pid])
+            else:
+                value = f"v{pid}" if input_mode == "distinct" else "v"
+                simulation.add_process(
+                    pid,
+                    lambda ctx, v=value: weak_ba_protocol(
+                        ctx, v, validity, num_phases=num_phases
+                    ),
+                )
+        return simulation
+
+    def evaluate(result: RunResult) -> Report:
+        return verify_run(
+            result,
+            validity=lambda v: isinstance(v, str),
+            allow_bottom=True,
+            # The adaptive O(n(f+1)) bill is a *synchrony* theorem: a
+            # pre-GST timing adversary forces the fallback without
+            # spending a single corruption, so the honest ceiling under
+            # partial synchrony is the fallback's quadratic bill.
+            word_budget=lambda r: word_constant * r.config.n * r.config.n,
+            check_adaptive_silence=True,
+            # Under the shared round clock every correct process leaves
+            # a round in the same tick, so entry skew stays within the
+            # lockstep tolerance — except on truncated runs, where the
+            # laggard objection applies unchanged.
+            check_fallback_sync=not result.truncated,
+        )
+
+    return Scenario(
+        name="psync-weak-ba",
+        params=params,
+        space=space,
+        max_ticks=max_ticks,
+        build=build,
+        evaluate=evaluate,
+        description=(
+            f"weak BA n={n} t={config.t} under gst={gst} delta={delta} "
+            f"adversary={adversary} horizon={max_ticks}"
+        ),
+    )
+
+
 SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "weak-ba": _weak_ba_scenario,
+    "psync-weak-ba": _psync_weak_ba_scenario,
 }
 """Registry of scenario factories, keyed by the name replay artifacts
 store.  Factories must accept only JSON-serializable keyword params."""

@@ -68,14 +68,16 @@ class ProcessContext:
 
     @property
     def now(self) -> int:
-        """Current tick (the paper's ``now``); ``delta`` is one tick.
+        """Current round (the paper's ``now``): the global tick under
+        lockstep ``delta=1`` (one tick = one ``delta``), the process's
+        own round index under a paced synchrony model — protocol timers
+        ("wait until ``now + 2``") count rounds either way.
 
-        During WAL replay this is the *replay cursor's* tick, so
-        protocol timers ("wait until ``now + 2``") re-fire exactly as
-        they did live."""
+        During WAL replay this is the *replay cursor's* tick, so timers
+        re-fire exactly as they did live."""
         if self._replay is not None:
             return self._replay.tick
-        return self._simulation.tick
+        return self._simulation.process_now(self._pid)
 
     @property
     def scope_path(self) -> str:

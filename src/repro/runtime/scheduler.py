@@ -1,6 +1,7 @@
-"""The tick-based synchronous scheduler.
+"""The tick-based scheduler.
 
-Execution model per tick ``T``:
+Execution model per tick ``T`` (the historical lockstep ``delta=1``
+model, :data:`~repro.runtime.synchrony.LOCKSTEP`):
 
 1. scheduled mid-run corruptions for ``T`` are applied (the adaptive
    adversary of Section 2);
@@ -11,6 +12,19 @@ Execution model per tick ``T``:
    honest messages addressed to them that were sent *this* tick
    (rushing);
 5. the tick counter advances.
+
+Under any other :class:`~repro.runtime.synchrony.SynchronyModel` the
+scheduler runs **paced**: delivery ticks come from the model (``delta``
+bounds, or GST partial synchrony with adversarial pre-GST delays), and
+correct processes are resumed not every tick but when the shared
+:class:`_RoundClock` ends the round — by **certificate** (a quorum of
+distinct senders reached some correct process) or by **timeout**
+(exponential back-off on late traffic), whichever first; each process
+resumes at the advance tick plus its bounded clock drift.  ``ctx.now``
+then counts *rounds*, not ticks, so protocol timers written in round
+units ("wait until ``now + 2``") keep their meaning.  Byzantine
+behaviors still step every tick — the adversary is never slowed by
+honest clocks.
 
 The run ends when every correct process's generator has returned; the
 generators' return values are the decisions.
@@ -30,6 +44,7 @@ from repro.runtime.byzantine import ByzantineApi, ByzantineBehavior
 from repro.runtime.context import ProcessContext
 from repro.runtime.envelope import Envelope
 from repro.runtime.result import RunResult
+from repro.runtime.synchrony import LOCKSTEP, SynchronyModel
 from repro.runtime.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a cycle via repro.mc
@@ -44,6 +59,72 @@ TickHook = Callable[["Simulation", dict[ProcessId, list[Envelope]]], None]
 are assembled and before any process is resumed, with the simulation
 and this tick's inbox map.  Raising aborts the run (the explorer's
 state-fingerprint pruning does exactly that)."""
+
+
+class _RoundClock:
+    """The shared round clock of a paced run (one per simulation).
+
+    Correct processes advance rounds *together*: a round ends when any
+    correct process assembles a quorum certificate (``n - t`` distinct
+    senders — the network-layer idealization of the certificate gossip
+    real view synchronizers broadcast, see docs/partial_synchrony.md) or
+    when the shared per-round timeout fires.  The timeout escalates
+    (``backoff``, capped) on rounds that saw traffic but no certificate
+    — the network is slower than the current estimate — and resets to
+    base on certificate progress; silent rounds (no traffic at all) are
+    protocol sleep and keep the estimate.  Sharing the clock is what
+    makes honest clocks bounded-drift in the DLS sense: traffic-local
+    timeout state would amount to unbounded clock drift and desyncs the
+    paper's round-indexed phase schedules even *after* GST.
+    """
+
+    __slots__ = ("round", "started_at", "timeout", "retries", "launched")
+
+    def __init__(self, timeout: int) -> None:
+        self.round = 0
+        self.started_at = 0
+        self.timeout = timeout
+        self.retries = 0
+        self.launched = False
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.round,
+            self.started_at,
+            self.timeout,
+            self.retries,
+            self.launched,
+        )
+
+
+class _ProcessPacer:
+    """Per-process paced-run state.
+
+    ``buffer`` accumulates ``(delivered_tick, sub_delta_delay,
+    envelope)`` entries between resumes; on resume it becomes the
+    round's inbox.  ``resume_at`` is the tick this process actually
+    resumes the clock's current round (the shared advance tick plus its
+    bounded clock drift); ``None`` once resumed.  ``round`` is the last
+    round the process resumed — what :attr:`ProcessContext.now`
+    reports, so protocols keep counting in round units.
+    """
+
+    __slots__ = ("round", "resume_at", "buffer")
+
+    def __init__(self) -> None:
+        self.round = 0
+        self.resume_at: int | None = 0
+        self.buffer: list[tuple[int, float, Envelope]] = []
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.round,
+            self.resume_at,
+            tuple(sorted(
+                (tick, delay, envelope.mc_key())
+                for tick, delay, envelope in self.buffer
+            )),
+        )
 
 
 class Simulation:
@@ -63,6 +144,7 @@ class Simulation:
         stop_on_horizon: bool = False,
         observer: Observer | None = None,
         recovery: "RecoveryManager | None" = None,
+        synchrony: SynchronyModel | None = None,
     ) -> None:
         """``inbox_order``: ``"sender"`` (default) delivers each tick's
         inbox sorted by sender id; ``"random"`` applies a seeded shuffle
@@ -106,7 +188,14 @@ class Simulation:
         discarded, deliveries inside its down window are lost, and at
         the restart tick the process is rebuilt by replaying its WAL
         (:func:`~repro.recovery.replay.replay_generator`) and rejoins
-        tick-aligned."""
+        tick-aligned.
+
+        ``synchrony``: the :class:`~repro.runtime.synchrony.SynchronyModel`
+        governing delivery ticks and round advancement.  ``None`` (and
+        ``Lockstep(delta=1)``) is the historical lockstep scheduler,
+        byte-identical; any other model runs the paced execution model
+        (module docstring).  Mutually exclusive with ``recovery``: WAL
+        replay is tick-aligned and paced rounds are not."""
         if type(seed) is not int:
             raise SchedulerError(
                 f"seed must be an int, got {type(seed).__name__} {seed!r}"
@@ -143,6 +232,30 @@ class Simulation:
         else:
             self._injector = None
         self.stop_on_horizon = stop_on_horizon
+        self.synchrony = synchrony if synchrony is not None else LOCKSTEP
+        if not isinstance(self.synchrony, SynchronyModel):
+            raise SchedulerError(
+                f"synchrony must be a SynchronyModel, got "
+                f"{type(self.synchrony).__name__}"
+            )
+        self._paced = not self.synchrony.trivial
+        self._clock: _RoundClock | None = (
+            _RoundClock(self.synchrony.timeout_base()) if self._paced else None
+        )
+        self._pacers: dict[ProcessId, _ProcessPacer] = {}
+        self._sent_now: dict[ProcessId, list[Envelope]] = {}
+        """Paced-mode rushing view: this tick's on-the-wire sends by
+        receiver (the wheel slot ``tick + 1`` no longer holds them)."""
+        self._sync_seq: dict[tuple[ProcessId, ProcessId], int] = {}
+        """Per-tick, per-edge send counter for the synchrony model's
+        seeded/choice-point delivery draws (cleared every tick, so the
+        draw coordinates ``(sender, receiver, tick, seq)`` stay pure)."""
+        if self._paced and recovery is not None:
+            raise SchedulerError(
+                "crash recovery requires the lockstep delta=1 model: WAL "
+                "replay is tick-aligned, paced rounds are not (run "
+                "recovery scenarios under the default synchrony)"
+            )
         self.recovery = recovery
         if fault_plan is not None and fault_plan.crashes and recovery is None:
             raise SchedulerError(
@@ -235,12 +348,27 @@ class Simulation:
     ) -> None:
         if to not in self.config.processes:
             raise SchedulerError(f"send to unknown process {to}")
+        if not self._paced:
+            # Historical fast path: lockstep delta=1 delivers next tick.
+            delivered_at = self.tick + 1
+        else:
+            edge = (sender, to)
+            seq = self._sync_seq.get(edge, 0)
+            self._sync_seq[edge] = seq + 1
+            delivered_at = self.synchrony.delivery_tick(
+                sender, to, self.tick, seq, chooser=self.choices
+            )
+            if delivered_at <= self.tick:
+                raise SchedulerError(
+                    f"synchrony model {self.synchrony.describe()} scheduled "
+                    f"delivery at {delivered_at} <= send tick {self.tick}"
+                )
         envelope = Envelope(
             sender=sender,
             receiver=to,
             payload=payload,
             sent_at=self.tick,
-            delivered_at=self.tick + 1,
+            delivered_at=delivered_at,
         )
         record = self.ledger.record(
             tick=self.tick,
@@ -281,15 +409,25 @@ class Simulation:
     # identical.
 
     def _slot_copies(self, envelope: Envelope, copies: list[float]) -> None:
-        """File an envelope's wire copies into the delivery wheel."""
-        slot = self._due.get(self.tick + 1)
+        """File an envelope's wire copies into the delivery wheel.
+
+        The slot is the envelope's synchrony-resolved ``delivered_at``
+        (``tick + 1`` under the default model — the historical scheduler
+        hardcoded that constant here).  All copies of one send share its
+        delivery tick; a :class:`~repro.faults.plan.FaultDecision`'s
+        ``delay`` stays what it always was, a sub-``delta`` fraction
+        observable only as inbox position within the delivery round.
+        """
+        slot = self._due.get(envelope.delivered_at)
         if slot is None:
-            slot = self._due[self.tick + 1] = {}
+            slot = self._due[envelope.delivered_at] = {}
         bucket = slot.get(envelope.receiver)
         if bucket is None:
             bucket = slot[envelope.receiver] = []
         for delay in copies:
             bucket.append((delay, envelope))
+        if self._paced and envelope.sender != envelope.receiver:
+            self._sent_now.setdefault(envelope.receiver, []).append(envelope)
 
     def _pending_at(
         self, tick: int, down: dict[ProcessId, int]
@@ -306,6 +444,10 @@ class Simulation:
 
     def _rushed_to(self, pid: ProcessId) -> list[Envelope]:
         """Messages sent *this* tick to ``pid`` (Byzantine rushing)."""
+        if self._paced:
+            # Sends scatter across future wheel slots under a paced
+            # model; the per-tick side record is the rushing view.
+            return list(self._sent_now.get(pid, ()))
         slot = self._due.get(self.tick + 1)
         if not slot:
             return []
@@ -313,6 +455,127 @@ class Simulation:
         if not bucket:
             return []
         return [e for _, e in bucket]
+
+    # ------------------------------------------------------------------
+    # Paced rounds (non-trivial synchrony models)
+    # ------------------------------------------------------------------
+
+    def process_now(self, pid: ProcessId) -> int:
+        """What ``ctx.now`` reports for ``pid``: the global tick under
+        lockstep ``delta=1``, the process's *round index* under a paced
+        model — so protocol timers written in round units ("wait until
+        ``now + 2``") keep their meaning when rounds span many ticks."""
+        if not self._paced:
+            return self.tick
+        pacer = self._pacers.get(pid)
+        return pacer.round if pacer is not None else self.tick
+
+    def pacer_fingerprint(self) -> tuple:
+        """Paced-round state for model-checking state digests: ``()``
+        under the trivial model (where the digest's existing components
+        already capture everything)."""
+        if not self._paced:
+            return ()
+        assert self._clock is not None
+        return (
+            self._clock.fingerprint(),
+            tuple(sorted(
+                (pid, pacer.fingerprint()) for pid, pacer in self._pacers.items()
+            )),
+        )
+
+    def _clock_advance_reason(self) -> str | None:
+        """Why the shared round ends this tick, or ``None`` to keep
+        waiting: ``"start"`` (tick 0), ``"certificate"`` (some live
+        correct process holds a quorum of distinct senders in its
+        current-round buffer), ``"timeout"`` (the shared per-round
+        timeout expired).  The clock never advances while a drifted
+        process still owes a resume of the current round — a
+        certificate presupposes current-round participation."""
+        clock = self._clock
+        assert clock is not None
+        if not clock.launched:
+            return "start"
+        if any(p.resume_at is not None for p in self._pacers.values()):
+            return None
+        if self.synchrony.early_advance:
+            quorum = self.config.n - self.config.t
+            for pacer in self._pacers.values():
+                senders = {envelope.sender for _, _, envelope in pacer.buffer}
+                if len(senders) >= quorum:
+                    return "certificate"
+        if self.tick >= clock.started_at + clock.timeout:
+            return "timeout"
+        return None
+
+    def _clock_advance(self, reason: str) -> None:
+        """End the shared round for ``reason``: bump the clock, adjust
+        the timeout estimate, and schedule every live correct process's
+        resume at ``tick + drift`` (bounded clock skew)."""
+        clock = self._clock
+        assert clock is not None
+        obs = self.observer
+        if reason == "start":
+            clock.launched = True
+        else:
+            prev_started_at = clock.started_at
+            clock.round += 1
+            if reason == "certificate":
+                # PBFT-style: progress proves the timeout estimate is
+                # adequate again, so the back-off resets.
+                clock.timeout = self.synchrony.timeout_base()
+                if obs is not None:
+                    obs.count("sync.cert_advance")
+            else:
+                # Escalate only on evidence the network outpaces the
+                # round length: a buffered envelope sent before the
+                # *previous* round began took more than a full round to
+                # arrive.  (Sent-last-round arrivals are the normal
+                # cross-boundary case; silent rounds are protocol
+                # sleep.)  Lockstep's next_timeout is the identity, so
+                # delta>1 lockstep pacing never drifts from delta.
+                late = any(
+                    envelope.sent_at < prev_started_at
+                    for pacer in self._pacers.values()
+                    for _, _, envelope in pacer.buffer
+                )
+                if late:
+                    clock.retries += 1
+                    clock.timeout = self.synchrony.next_timeout(clock.timeout)
+                    if obs is not None:
+                        obs.count("sync.round_retries")
+                if obs is not None:
+                    obs.count("sync.timeout_fired")
+            if obs is not None:
+                obs.event(
+                    "round_advanced", tick=self.tick, round=clock.round,
+                    reason=reason, timeout=clock.timeout,
+                )
+        clock.started_at = self.tick
+        for pid, pacer in self._pacers.items():
+            pacer.resume_at = self.tick + self.synchrony.drift_for(
+                pid, clock.round
+            )
+
+    def _paced_inbox(self, pid: ProcessId) -> list[Envelope]:
+        """Drain ``pid``'s buffer into the new round's inbox
+        (deterministically ordered, then fault-plan / choice-source
+        reordered exactly like a lockstep inbox)."""
+        pacer = self._pacers[pid]
+        assert self._clock is not None
+        pacer.round = self._clock.round
+        pacer.resume_at = None
+        entries = pacer.buffer
+        pacer.buffer = []
+        entries.sort(key=lambda e: (e[0], e[1], e[2].sender))
+        inbox = [envelope for _, _, envelope in entries]
+        if self.choices is not None:
+            return self.choices.order_inbox(pid, self.tick, inbox)
+        if self._injector is not None:
+            return self._injector.plan.maybe_shuffle(pid, self.tick, inbox)
+        if self.inbox_order == "random":
+            self._inbox_rng.shuffle(inbox)
+        return inbox
 
     # ------------------------------------------------------------------
     # Execution
@@ -331,6 +594,8 @@ class Simulation:
             ctx = ProcessContext(self, pid)
             contexts[pid] = ctx
             generators[pid] = factory(ctx)
+            if self._paced:
+                self._pacers[pid] = _ProcessPacer()
 
         decisions: dict[ProcessId, Any] = {}
         halted_at: dict[ProcessId, int] = {}
@@ -361,10 +626,15 @@ class Simulation:
                     f"{sorted(generators)} never decided"
                 )
 
+            if self._paced:
+                self._sent_now.clear()
+                self._sync_seq.clear()
+
             for pid, behavior in self._scheduled_corruptions.pop(self.tick, []):
                 if pid in generators:
                     generators.pop(pid)
                     contexts.pop(pid)
+                    self._pacers.pop(pid, None)
                 if pid not in self._behaviors:
                     self._behaviors[pid] = behavior
                     self.corrupted_now.add(pid)
@@ -417,38 +687,67 @@ class Simulation:
 
             pending = self._pending_at(self.tick, down)
             inboxes: dict[ProcessId, list[Envelope]] = {}
-            for pid, entries in pending.items():
-                if self.choices is not None:
-                    # Canonicalize (delay, then sender), then let the
-                    # decision stream pick among the offered orderings.
-                    # Byzantine inboxes stay canonical: the adversary
-                    # sees everything anyway, so its perceived order is
-                    # not part of the correctness space.
-                    entries.sort(key=lambda de: (de[0], de[1].sender))
-                    inbox = [e for _, e in entries]
-                    if pid not in self._behaviors:
-                        inbox = self.choices.order_inbox(pid, self.tick, inbox)
-                    inboxes[pid] = inbox
-                elif self._injector is not None:
-                    # Delayed copies land later in the inbox; the plan's
-                    # seeded reorder may then scramble the whole round.
-                    entries.sort(key=lambda de: (de[0], de[1].sender))
-                    inboxes[pid] = self._injector.plan.maybe_shuffle(
-                        pid, self.tick, [e for _, e in entries]
-                    )
-                elif self.inbox_order == "random":
-                    inbox = [e for _, e in entries]
-                    self._inbox_rng.shuffle(inbox)
-                    inboxes[pid] = inbox
-                else:
-                    inboxes[pid] = [
-                        e for _, e in sorted(entries, key=lambda de: de[1].sender)
-                    ]
+            resuming: list[ProcessId] | None = None
+            if self._paced:
+                # Deliveries land in per-process buffers; the shared
+                # round clock ends rounds by certificate or timeout, not
+                # at the tick boundary, and each process resumes at the
+                # advance tick plus its bounded clock drift.  Byzantine
+                # inboxes stay per-tick: the adversary's view is never
+                # paced by honest clocks.
+                for pid, entries in pending.items():
+                    pacer = self._pacers.get(pid)
+                    if pacer is not None:
+                        pacer.buffer.extend(
+                            (self.tick, delay, envelope)
+                            for delay, envelope in entries
+                        )
+                    elif pid in self._behaviors:
+                        entries.sort(key=lambda de: (de[0], de[1].sender))
+                        inboxes[pid] = [e for _, e in entries]
+                if generators:
+                    reason = self._clock_advance_reason()
+                    if reason is not None:
+                        self._clock_advance(reason)
+                resuming = []
+                for pid in sorted(generators):
+                    pacer = self._pacers[pid]
+                    if pacer.resume_at is not None and self.tick >= pacer.resume_at:
+                        inboxes[pid] = self._paced_inbox(pid)
+                        resuming.append(pid)
+            else:
+                for pid, entries in pending.items():
+                    if self.choices is not None:
+                        # Canonicalize (delay, then sender), then let the
+                        # decision stream pick among the offered orderings.
+                        # Byzantine inboxes stay canonical: the adversary
+                        # sees everything anyway, so its perceived order is
+                        # not part of the correctness space.
+                        entries.sort(key=lambda de: (de[0], de[1].sender))
+                        inbox = [e for _, e in entries]
+                        if pid not in self._behaviors:
+                            inbox = self.choices.order_inbox(pid, self.tick, inbox)
+                        inboxes[pid] = inbox
+                    elif self._injector is not None:
+                        # Delayed copies land later in the inbox; the plan's
+                        # seeded reorder may then scramble the whole round.
+                        entries.sort(key=lambda de: (de[0], de[1].sender))
+                        inboxes[pid] = self._injector.plan.maybe_shuffle(
+                            pid, self.tick, [e for _, e in entries]
+                        )
+                    elif self.inbox_order == "random":
+                        inbox = [e for _, e in entries]
+                        self._inbox_rng.shuffle(inbox)
+                        inboxes[pid] = inbox
+                    else:
+                        inboxes[pid] = [
+                            e for _, e in sorted(entries, key=lambda de: de[1].sender)
+                        ]
 
             if self.tick_hook is not None:
                 self.tick_hook(self, inboxes)
 
-            for pid in sorted(generators):
+            for pid in (resuming if resuming is not None else sorted(generators)):
                 ctx = contexts[pid]
                 ctx.inbox = inboxes.get(pid, [])
                 if self.recovery is not None:
@@ -462,6 +761,7 @@ class Simulation:
                     halted_at[pid] = self.tick
                     del generators[pid]
                     del contexts[pid]
+                    self._pacers.pop(pid, None)
                     if self.observer is not None:
                         self.observer.event("decided", pid=pid, tick=self.tick)
 

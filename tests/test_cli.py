@@ -48,6 +48,24 @@ class TestRun:
         assert loaded.n == 5
         assert loaded.correct_words > 0
 
+    def test_run_under_partial_synchrony(self, capsys):
+        assert main(
+            ["run", "weak-ba", "--n", "5", "--synchrony", "gst:3"]
+        ) == 0
+        assert "decided" in capsys.readouterr().out
+
+    def test_run_under_stretched_lockstep(self, capsys):
+        assert main(
+            ["run", "bb", "--n", "5", "--synchrony", "lockstep:2"]
+        ) == 0
+        assert "decided" in capsys.readouterr().out
+
+    def test_rejects_bad_synchrony_spec(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "bb", "--n", "5", "--synchrony", "banana"])
+
 
 class TestSweepAndTables:
     def test_sweep_prints_table_and_slope(self, capsys):
@@ -55,6 +73,13 @@ class TestSweepAndTables:
         out = capsys.readouterr().out
         assert "protocol" in out
         assert "failure-free words ~ n^" in out
+
+    def test_sweep_under_partial_synchrony(self, capsys):
+        assert main(
+            ["sweep", "weak-ba", "--ns", "5", "--max-f", "0",
+             "--synchrony", "gst:4"]
+        ) == 0
+        assert "weak_ba" in capsys.readouterr().out
 
     def test_table1(self, capsys):
         assert main(["table1", "--ns", "5", "9"]) == 0

@@ -472,3 +472,98 @@ class TestReconnectJitter:
         low, high = JITTER_SPREAD
         for draw in self._draws(7, 2, 4, count=200):
             assert low <= draw <= high
+
+
+class TestReseedDerivation:
+    """ISSUE-9 satellite: ``reseeded(seed)`` must re-derive *every*
+    seeded sub-schedule from the new seed — per-message fault verdicts,
+    inbox shuffles — while carrying the explicit schedules (crashes,
+    resets, lossy/slow sets) over unchanged, so a reseeded plan is the
+    same fault *mix*, never a partially stale one."""
+
+    def _verdict_grid(self, plan, ticks=32, seqs=2):
+        return [
+            plan.decide(s, r, tick=t, seq=q)
+            for s in (0, 1, 2)
+            for r in (0, 1, 2)
+            if s != r
+            for t in range(ticks)
+            for q in range(seqs)
+        ]
+
+    def _shuffle_grid(self, plan, ticks=32):
+        inbox = envelopes_from([4, 2, 0, 3, 1])
+        return [
+            [e.sender for e in plan.maybe_shuffle(0, t, inbox)]
+            for t in range(ticks)
+        ]
+
+    def test_reseed_rederives_verdicts_and_shuffles(self):
+        base = MIXED_PLAN
+        twin = base.reseeded(base.seed)
+        other = base.reseeded(base.seed + 1)
+        # Same seed: bit-identical sub-schedules (reseeding is pure).
+        assert self._verdict_grid(twin) == self._verdict_grid(base)
+        assert self._shuffle_grid(twin) == self._shuffle_grid(base)
+        # New seed: both seeded streams actually re-derive.
+        assert self._verdict_grid(other) != self._verdict_grid(base)
+        assert self._shuffle_grid(other) != self._shuffle_grid(base)
+
+    def test_reseed_is_equivalent_to_fresh_construction(self):
+        fresh = dataclasses.replace(MIXED_PLAN, seed=99)
+        assert MIXED_PLAN.reseeded(99) == fresh
+        assert self._verdict_grid(MIXED_PLAN.reseeded(99)) == self._verdict_grid(fresh)
+
+    def test_reseed_carries_explicit_schedules_unchanged(self):
+        from repro.faults.plan import ProcessCrash
+
+        plan = FaultPlan(
+            seed=1,
+            drop_rate=0.4,
+            lossy=frozenset({2}),
+            slow=frozenset({3}),
+            max_delay=0.25,
+            resets=(ConnectionReset(tick=4, sender=0, receiver=1),),
+            crashes=(ProcessCrash(pid=2, at_tick=3, restart_tick=6),),
+        )
+        reseeded = plan.reseeded(7)
+        assert reseeded.seed == 7
+        assert reseeded.resets == plan.resets
+        assert reseeded.crashes == plan.crashes
+        assert reseeded.lossy == plan.lossy
+        assert reseeded.slow == plan.slow
+        assert reseeded.faulty == plan.faulty
+
+    def test_reseeded_runs_diverge_but_stay_safe(self, config5):
+        """End-to-end: reseeds of the mixed plan really move the faults
+        — the canonical trace stays identical (the protocol is robust
+        to the perturbations, which is the point) but the word bill
+        shifts with the dropped/duplicated messages — and every reseed
+        still verifies."""
+        bills = []
+        for seed in (11, 12, 13, 14):
+            plan = MIXED_PLAN.reseeded(seed)
+            result = run_byzantine_broadcast(
+                config5, sender=0, value="v",
+                params=RunParameters(fault_plan=plan),
+            )
+            assert result.unanimous_decision() == "v"
+            assert verify_under_plan(result, plan, expected_decision="v").ok
+            bills.append(result.correct_words)
+        assert len(set(bills)) > 1
+
+    def test_soak_derive_instance_threads_one_seed(self):
+        """The soak fleet's spec derivation stays coherent: the instance
+        seed it draws is the seed its fault plan carries, so replaying
+        ``(master_seed, index, profile)`` re-derives the same faults."""
+        from repro.soak.plan import PROFILES, derive_instance
+
+        profile = PROFILES["mixed"]
+        spec = derive_instance(7, 3, profile)
+        again = derive_instance(7, 3, profile)
+        assert spec == again
+        if spec.plan is not None:
+            assert spec.plan.seed == spec.seed
+        # A different index re-derives everything, not just the label.
+        other = derive_instance(7, 4, profile)
+        assert other.seed != spec.seed

@@ -1,0 +1,155 @@
+"""Model-checking partial synchrony: adversarial pre-GST schedules.
+
+ISSUE-9 satellite: over the bounded n=4, t=1 weak-BA space, every
+placement of the global stabilization time within the protocol's
+decision horizon must preserve agreement and validity for *every*
+adversarial pre-GST delivery schedule, and every explored schedule
+must decide within a bounded number of post-GST ticks (the scenario's
+horizon reports truncation as a termination violation, so liveness is
+checked, not assumed).  Past the decision horizon a synchronous
+protocol genuinely loses agreement under adversarial timing — the
+wide-envelope legs pin the exact shape of that loss (decision splits,
+with validity and every other property intact) instead of pretending
+it away.
+
+The tier-1 legs below are complete proofs over small spaces (behavior
+pruning keeps them to tens-to-hundreds of runs); the ``psync``-marked
+legs widen the schedule space (more delay levels, inbox reordering,
+larger GST) beyond the tier-1 time budget.
+"""
+
+import pytest
+
+from repro.errors import ModelCheckError
+from repro.mc.explore import explore_exhaustive, explore_random
+from repro.mc.scenario import make_scenario
+
+
+def _explore(result):
+    """Assert-friendly digest of an exploration result."""
+    detail = [ce.summary for ce in result.counterexamples[:3]]
+    return result, detail
+
+
+class TestScenarioConstruction:
+    def test_registry_roundtrip(self):
+        scenario = make_scenario("psync-weak-ba", gst=3)
+        assert scenario.name == "psync-weak-ba"
+        assert scenario.params["gst"] == 3
+        # params reconstruct the scenario (the replay-artifact contract)
+        again = make_scenario(scenario.name, **scenario.params)
+        assert again.params == scenario.params
+
+    def test_rejects_unknown_adversary(self):
+        with pytest.raises(ModelCheckError, match="adversary"):
+            make_scenario("psync-weak-ba", adversary="cert-dealer")
+
+
+class TestEveryGstPlacement:
+    """Safety for every GST placement — the satellite's core claim."""
+
+    @pytest.mark.parametrize("gst", [0, 1, 2, 3, 4])
+    def test_agreement_validity_proven_for_gst(self, gst):
+        scenario = make_scenario("psync-weak-ba", gst=gst)
+        result, detail = _explore(explore_exhaustive(scenario, max_runs=2000))
+        assert result.ok, detail
+        assert result.complete  # exhausted: "no counterexample" is a proof
+        assert result.stats.terminal > 0
+
+    def test_gst_zero_space_is_the_single_synchronous_run(self):
+        # With gst=0 there are no pre-GST sends, hence no choice points.
+        result = explore_exhaustive(make_scenario("psync-weak-ba", gst=0))
+        assert result.ok and result.complete
+        assert result.stats.runs == 1
+
+    def test_no_explored_schedule_misses_the_liveness_horizon(self):
+        scenario = make_scenario("psync-weak-ba", gst=4)
+        result, detail = _explore(explore_exhaustive(scenario, max_runs=2000))
+        assert result.ok, detail
+        assert result.stats.truncated == 0
+
+
+class TestComposedAdversary:
+    def test_silence_plus_adversarial_timing(self):
+        """f=1 crash-silence (victim identity a choice point) composed
+        with every pre-GST schedule still preserves the properties."""
+        scenario = make_scenario(
+            "psync-weak-ba", gst=2, adversary="choose-silent"
+        )
+        result, detail = _explore(explore_exhaustive(scenario, max_runs=2000))
+        assert result.ok, detail
+        assert result.complete
+
+    def test_random_walks_through_a_wider_space(self):
+        """The reordering space is too large to exhaust in tier-1; a
+        seeded random walk must still find no violation."""
+        scenario = make_scenario(
+            "psync-weak-ba", gst=3, reorder=True, perm_cap=3
+        )
+        result = explore_random(scenario, runs=20, stop_at_first=False)
+        assert result.ok, [ce.summary for ce in result.counterexamples[:3]]
+        assert result.stats.truncated == 0
+
+
+@pytest.mark.psync
+class TestWideEnvelope:
+    """Beyond the tier-1 time budget: run with ``-m psync``."""
+
+    @pytest.mark.parametrize("gst", [5, 6])
+    def test_deep_gst_placements_within_decision_horizon(self, gst):
+        scenario = make_scenario("psync-weak-ba", gst=gst)
+        result, detail = _explore(explore_exhaustive(scenario, max_runs=20000))
+        assert result.ok, detail
+        assert result.complete
+        assert result.stats.terminal > 0
+
+    @pytest.mark.parametrize("gst", [7, 8])
+    def test_agreement_loss_beyond_decision_horizon(self, gst):
+        """The characterized failure mode of a *synchronous* protocol
+        under partial synchrony: once GST lands past the decision
+        horizon, the adversary can hold certificates hostage across
+        round boundaries and split the decision — commit-vs-⊥, and even
+        commit-vs-commit once a fallback certificate crosses a round
+        late.  *Only* agreement breaks: every decided value is still ⊥
+        or some correct process's own valid input, every process still
+        terminates, and no other checked property fires.  This is the
+        finding that motivates the partial-synchrony successor designs
+        (see docs/partial_synchrony.md)."""
+        from repro.core.values import BOTTOM, UNDECIDED
+        from repro.mc.explore import run_schedule
+
+        scenario = make_scenario("psync-weak-ba", gst=gst)
+        result = explore_exhaustive(scenario, max_runs=20000)
+        assert result.counterexamples, "expected the documented split"
+        inputs = {f"v{pid}" for pid in range(4)}
+        for ce in result.counterexamples:
+            assert set(ce.kinds) == {"agreement"}, ce.summary
+            outcome = run_schedule(scenario, list(ce.decisions))
+            values = set(outcome.result.decisions.values())
+            assert len(values) > 1  # the split itself
+            assert UNDECIDED not in values
+            assert values <= inputs | {BOTTOM}
+
+    def test_three_level_delay_lattice(self):
+        scenario = make_scenario("psync-weak-ba", gst=4, pre_gst_levels=3)
+        result, detail = _explore(explore_exhaustive(scenario, max_runs=20000))
+        assert result.ok, detail
+        assert result.complete
+
+    def test_silence_sweep_across_gst(self):
+        for gst in (1, 3, 4):
+            scenario = make_scenario(
+                "psync-weak-ba", gst=gst, adversary="choose-silent"
+            )
+            result, detail = _explore(
+                explore_exhaustive(scenario, max_runs=20000)
+            )
+            assert result.ok, (gst, detail)
+            assert result.complete, gst
+
+    def test_reordered_inboxes_under_gst(self):
+        scenario = make_scenario(
+            "psync-weak-ba", gst=2, reorder=True, perm_cap=3
+        )
+        result, detail = _explore(explore_exhaustive(scenario, max_runs=30000))
+        assert result.ok, detail
