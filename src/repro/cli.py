@@ -130,6 +130,89 @@ def _fault_plan(args: argparse.Namespace):
     )
 
 
+def _protocol_runners():
+    """CLI protocol name -> runner, resolved through the backend
+    registry (``repro.protocols``): ``run`` dispatches by backend name
+    instead of importing protocol modules directly, so a new backend
+    only has to register itself to become runnable.  The pre-backend
+    single-shot protocols (bb, fallback, dolev-strong) keep their
+    direct entry points."""
+    import repro.protocols as protocols
+
+    cohen = protocols.get_backend("cohen")
+    civit = protocols.get_backend("civit")
+
+    def weak_ba(backend):
+        def run(config, byzantine, args, params):
+            validity = lambda suite, cfg: ExternalValidity(
+                lambda v: isinstance(v, str)
+            )
+            inputs = {
+                p: args.value for p in config.processes if p not in byzantine
+            }
+            return backend.run_weak_ba(
+                config, inputs, validity, byzantine=byzantine,
+                seed=args.seed, params=params,
+            )
+
+        return run
+
+    def strong_ba(backend):
+        def run(config, byzantine, args, params):
+            inputs = {
+                p: args.bit for p in config.processes if p not in byzantine
+            }
+            return backend.run_strong_ba(
+                config, inputs, byzantine=byzantine, seed=args.seed,
+                params=params,
+            )
+
+        return run
+
+    def adaptive_strong_ba(backend):
+        def run(config, byzantine, args, params):
+            inputs = {
+                p: args.value for p in config.processes if p not in byzantine
+            }
+            return backend.run_adaptive_strong_ba(
+                config, inputs, byzantine=byzantine, seed=args.seed,
+                params=params,
+            )
+
+        return run
+
+    def bb(config, byzantine, args, params):
+        return run_byzantine_broadcast(
+            config, sender=0, value=args.value, byzantine=byzantine,
+            seed=args.seed, params=params,
+        )
+
+    def fallback(config, byzantine, args, params):
+        inputs = {
+            p: args.value for p in config.processes if p not in byzantine
+        }
+        return run_fallback_ba(
+            config, inputs, byzantine=byzantine, seed=args.seed, params=params
+        )
+
+    def dolev_strong(config, byzantine, args, params):
+        return run_dolev_strong(
+            config, sender=0, value=args.value, byzantine=byzantine,
+            seed=args.seed, params=params,
+        )
+
+    return {
+        "bb": bb,
+        "weak-ba": weak_ba(cohen),
+        "strong-ba": strong_ba(cohen),
+        "adaptive-strong-ba": adaptive_strong_ba(cohen),
+        "civit-strong-ba": strong_ba(civit),
+        "civit-adaptive-strong-ba": adaptive_strong_ba(civit),
+        "fallback": fallback,
+        "dolev-strong": dolev_strong,
+    }
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = SystemConfig.with_optimal_resilience(args.n)
     avoid = frozenset({0}) if args.protocol in ("bb", "dolev-strong") else frozenset()
@@ -167,52 +250,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed, fault_plan=plan, observer=observer, recovery=recovery,
         synchrony=synchrony,
     )
-    if args.protocol == "bb":
-        result = run_byzantine_broadcast(
-            config, sender=0, value=args.value, byzantine=byzantine,
-            seed=args.seed, params=params,
-        )
-    elif args.protocol == "weak-ba":
-        validity = lambda suite, cfg: ExternalValidity(
-            lambda v: isinstance(v, str)
-        )
-        inputs = {
-            p: args.value for p in config.processes if p not in byzantine
-        }
-        result = run_weak_ba(
-            config, inputs, validity, byzantine=byzantine, seed=args.seed,
-            params=params,
-        )
-    elif args.protocol == "strong-ba":
-        inputs = {
-            p: args.bit for p in config.processes if p not in byzantine
-        }
-        result = run_strong_ba(
-            config, inputs, byzantine=byzantine, seed=args.seed, params=params
-        )
-    elif args.protocol == "adaptive-strong-ba":
-        from repro.core.adaptive_strong_ba import run_adaptive_strong_ba
-
-        inputs = {
-            p: args.value for p in config.processes if p not in byzantine
-        }
-        result = run_adaptive_strong_ba(
-            config, inputs, byzantine=byzantine, seed=args.seed, params=params
-        )
-    elif args.protocol == "fallback":
-        inputs = {
-            p: args.value for p in config.processes if p not in byzantine
-        }
-        result = run_fallback_ba(
-            config, inputs, byzantine=byzantine, seed=args.seed, params=params
-        )
-    elif args.protocol == "dolev-strong":
-        result = run_dolev_strong(
-            config, sender=0, value=args.value, byzantine=byzantine,
-            seed=args.seed, params=params,
-        )
-    else:  # pragma: no cover - argparse restricts choices
+    runner = _protocol_runners().get(args.protocol)
+    if runner is None:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown protocol {args.protocol}")
+    result = runner(config, byzantine, args, params)
     _report(result, f"{args.protocol} (n={config.n}, t={config.t})")
     if recovery is not None:
         stats = recovery.stats
@@ -715,6 +756,8 @@ def build_parser() -> argparse.ArgumentParser:
             "weak-ba",
             "strong-ba",
             "adaptive-strong-ba",
+            "civit-strong-ba",
+            "civit-adaptive-strong-ba",
             "fallback",
             "dolev-strong",
         ],

@@ -62,6 +62,9 @@ class MutantSpec:
     baseline: dict[str, Any] = field(default_factory=dict)
     """Scenario params with / without the mutation (same attack)."""
     max_runs: int = 5_000
+    scenario: str = "weak-ba"
+    """Registry name of the scenario family the kill runs in — backend
+    mutants point at their backend's scenario (e.g. "civit-strong-ba")."""
 
 
 def _cert_dealer_params(**overrides: Any) -> dict[str, Any]:
@@ -132,6 +135,74 @@ MUTANTS: dict[str, MutantSpec] = {
             reorder=False,
         ),
     ),
+    # -- civit backend twins: the same three lemma ablations, driven
+    #    through the certification layer of the second backend.  The
+    #    attacks differ (a Byzantine *certifier* must first mint the
+    #    conflicting certified values the inner weak BA is fed), but the
+    #    kill list is deliberately identical — the conformance suite
+    #    asserts that parity (tests/test_conformance.py).
+    "civit-quorum-off-by-one": MutantSpec(
+        name="civit-quorum-off-by-one",
+        description="inner commit quorum ceil((n+t+1)/2) - 1 in the civit "
+        "stack: a Byzantine certifier certifies both binary values and "
+        "drives them through its weak-BA phase",
+        lemma="quorum intersection of the shared adaptive core (Lemma 15); "
+        "certification alone cannot provide agreement",
+        expected_kinds=frozenset({"agreement"}),
+        scenario="civit-strong-ba",
+        mutated=dict(
+            n=4,
+            num_phases=1,
+            adversary="equivocating-certifier",
+            max_ticks=30,
+            reorder=False,
+            quorum_delta=-1,
+        ),
+        baseline=dict(
+            n=4,
+            num_phases=1,
+            adversary="equivocating-certifier",
+            max_ticks=30,
+            reorder=False,
+        ),
+    ),
+    "civit-fallback-echo-skipped": MutantSpec(
+        name="civit-fallback-echo-skipped",
+        description="fallback certificates of the inner weak BA are not "
+        "re-broadcast: the dealer starts the fallback at a single victim "
+        "behind the certification views",
+        lemma="Lemmas 17/18 on the shared core, session civit/wba",
+        expected_kinds=frozenset({"fallback-sync"}),
+        scenario="civit-strong-ba",
+        mutated=_cert_dealer_params(
+            num_views=4, max_ticks=230, echo_fallback=False
+        ),
+        baseline=_cert_dealer_params(num_views=4, max_ticks=230),
+    ),
+    "civit-non-silent-leaders": MutantSpec(
+        name="civit-non-silent-leaders",
+        description="a decided inner-phase leader re-proposes anyway "
+        "(certification views keep their own silence discipline)",
+        lemma="Algorithm 4 line 31 applied to the inner core; the civit "
+        "stack's adaptivity rests on the same accounting",
+        expected_kinds=frozenset({"adaptive-silence"}),
+        scenario="civit-strong-ba",
+        mutated=dict(
+            n=4,
+            num_phases=2,
+            adversary="none",
+            max_ticks=46,
+            reorder=False,
+            chatty_leaders=True,
+        ),
+        baseline=dict(
+            n=4,
+            num_phases=2,
+            adversary="none",
+            max_ticks=46,
+            reorder=False,
+        ),
+    ),
 }
 
 
@@ -187,7 +258,7 @@ def kill_mutant(
     if spec is None:
         raise ModelCheckError(f"unknown mutant {name!r}; known: {sorted(MUTANTS)}")
 
-    mutated = make_scenario("weak-ba", **spec.mutated)
+    mutated = make_scenario(spec.scenario, **spec.mutated)
     exploration = explore_exhaustive(
         mutated, max_runs=spec.max_runs, stop_at_first=True
     )
@@ -216,7 +287,8 @@ def kill_mutant(
     baseline: ExplorationResult | None = None
     if check_baseline:
         baseline = explore_exhaustive(
-            make_scenario("weak-ba", **spec.baseline), max_runs=spec.max_runs
+            make_scenario(spec.scenario, **spec.baseline),
+            max_runs=spec.max_runs,
         )
         if baseline.counterexamples:
             raise ModelCheckError(

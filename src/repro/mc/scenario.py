@@ -78,6 +78,15 @@ def make_scenario(name: str, **params: Any) -> Scenario:
     the inverse of what a replay artifact stores."""
     factory = SCENARIOS.get(name)
     if factory is None:
+        # Backend packages contribute scenarios through the registry in
+        # repro.protocols; merge them in lazily so this module stays
+        # importable *from* those packages without a cycle.
+        import repro.protocols
+
+        for extra, extra_factory in repro.protocols.mc_scenarios().items():
+            SCENARIOS.setdefault(extra, extra_factory)
+        factory = SCENARIOS.get(name)
+    if factory is None:
         raise ModelCheckError(
             f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
         )

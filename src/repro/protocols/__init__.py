@@ -1,0 +1,55 @@
+"""Backend registry: every protocol stack behind one Protocol API.
+
+``import repro.protocols`` is the single switch-on point — it imports
+the known backend modules (each registers itself via
+:func:`~repro.protocols.base.register_backend`) and pushes their
+WAL-replay builders into :mod:`repro.recovery.replay`'s protocol
+registry.  Consumers that must stay importable without the backends
+(``repro.recovery.replay``, ``repro.mc.scenario``) instead import this
+package *lazily* on a registry miss, which breaks the would-be cycle
+``protocols -> mc.scenario -> protocols``.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import (
+    Backend,
+    all_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.protocols.civit import CIVIT
+from repro.protocols.cohen import COHEN
+
+__all__ = [
+    "Backend",
+    "CIVIT",
+    "COHEN",
+    "all_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]
+
+
+def _wire_replay_builders() -> None:
+    from repro.recovery.replay import _PROTOCOLS, register_protocol
+
+    for backend in all_backends():
+        for protocol, builder in backend.replay_builders.items():
+            if _PROTOCOLS.get(protocol) is not builder:
+                register_protocol(protocol, builder)
+
+
+def mc_scenarios() -> dict[str, object]:
+    """Every backend-contributed scenario factory, keyed by registry
+    name — what :func:`repro.mc.scenario.make_scenario` merges in on a
+    lookup miss."""
+    merged: dict[str, object] = {}
+    for backend in all_backends():
+        merged.update(backend.mc_scenarios)
+    return merged
+
+
+_wire_replay_builders()

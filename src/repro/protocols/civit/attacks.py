@@ -1,0 +1,151 @@
+"""Byzantine attacks against the civit backend.
+
+The civit stack's inner agreement core is the shared Algorithm-3 weak
+BA, so the heavy lifting reuses the session-parametric attacks from
+:mod:`repro.adversary.protocol_attacks` — what these classes add is the
+*certification prelude*: a Byzantine view-1 certifier harvests the
+input shares honest processes send it and tops incomplete certificates
+up with the coalition's own shares, exactly the "adds ``t`` signatures
+of its own" move of Section 6.  With the harvested certificates in hand
+it re-targets the classic weak-BA attack at the inner session
+(``<session>/wba``), offset past the certification views.
+
+:class:`CivitEquivocatingCertifier` needs certificates for *both*
+binary values: in a mixed run, each value has at least one correct
+share, and ``t`` coalition shares complete the ``t+1`` quorum — a
+Byzantine certifier can certify two conflicting values even though no
+correct certifier could certify either.  This is why certification
+alone does not provide agreement and the quorum-intersection argument
+of the inner core still carries it (the ``civit-quorum-off-by-one``
+mutant ablates exactly that argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adversary.protocol_attacks import (
+    WeakBaEquivocatingLeader,
+    WeakBaSplitFinalizeLeader,
+)
+from repro.config import ProcessId
+from repro.crypto.certificates import CertificateCollector
+from repro.protocols.civit.core import (
+    VIEW_ROUNDS,
+    CertifiedValue,
+    CivitInputShare,
+    CivitSolicit,
+    input_label,
+    input_statement,
+)
+from repro.runtime.byzantine import ByzantineApi
+
+
+def _harvest_certificates(
+    api: ByzantineApi, session: str, view: int
+) -> dict[object, CertifiedValue]:
+    """Build a certificate for every value whose honest shares plus the
+    coalition's own shares reach the ``t+1`` input quorum."""
+    config = api.config
+    quorum = config.small_quorum
+    label = input_label(session)
+    collectors: dict[object, CertificateCollector] = {}
+    for envelope in api.inbox:
+        payload = envelope.payload
+        if not isinstance(payload, CivitInputShare):
+            continue
+        if payload.session != session or payload.view != view:
+            continue
+        try:
+            collector = collectors.get(payload.value)
+            if collector is None:
+                collector = CertificateCollector(
+                    api.suite, label, quorum, input_statement(payload.value)
+                )
+                collectors[payload.value] = collector
+            collector.add(payload.partial)
+        except Exception:
+            continue
+    certified: dict[object, CertifiedValue] = {}
+    for value, collector in collectors.items():
+        for accomplice in api.corrupted:
+            if collector.complete:
+                break
+            try:
+                collector.add(
+                    api.suite.partial_for_certificate(
+                        accomplice, label, quorum, input_statement(value)
+                    )
+                )
+            except Exception:
+                continue
+        if collector.complete:
+            certified[value] = CertifiedValue(value).with_certificate(
+                collector.certificate()
+            )
+    return certified
+
+
+@dataclass
+class CivitEquivocatingCertifier:
+    """View-1 certifier that certifies *both* binary values, then runs
+    the quorum-ablation equivocation inside the inner weak BA.
+
+    ``quorum`` is the inner commit quorum the scenario runs with: under
+    the paper's ``⌈(n+t+1)/2⌉`` the equivocation fizzles (one finalize
+    certificate at most), under the ablated ``t+1`` agreement breaks —
+    the civit twin of ``WeakBaEquivocatingLeader``'s measurement.
+    """
+
+    quorum: int
+    session: str = "civit"
+    num_views: int = 2
+    _inner: WeakBaEquivocatingLeader | None = field(default=None, init=False)
+
+    def step(self, api: ByzantineApi) -> None:
+        if api.now == 0:
+            api.broadcast(CivitSolicit(session=self.session, view=1))
+        elif api.now == 2:
+            certified = _harvest_certificates(api, self.session, view=1)
+            if all(value in certified for value in (0, 1)):
+                self._inner = WeakBaEquivocatingLeader(
+                    value_a=certified[0],
+                    value_b=certified[1],
+                    quorum=self.quorum,
+                    session=f"{self.session}/wba",
+                    start_tick=VIEW_ROUNDS * self.num_views,
+                )
+                api.emit("civit_certifier_equivocated")
+        elif self._inner is not None:
+            self._inner.step(api)
+
+
+@dataclass
+class CivitSplitCertifier:
+    """View-1 certifier that certifies the most popular harvestable
+    value *privately*, then split-finalizes it to ``recipients`` inside
+    the inner weak BA — the cert-dealer scenario's split leader, civit
+    edition.  Because the certificate is never broadcast (and no value
+    reaches ``t+1`` correct shares on its own), honest certifiers stay
+    empty-handed and the victims reach the help round undecided."""
+
+    recipients: frozenset[ProcessId]
+    session: str = "civit"
+    num_views: int = 4
+    _inner: WeakBaSplitFinalizeLeader | None = field(default=None, init=False)
+
+    def step(self, api: ByzantineApi) -> None:
+        if api.now == 0:
+            api.broadcast(CivitSolicit(session=self.session, view=1))
+        elif api.now == 2:
+            certified = _harvest_certificates(api, self.session, view=1)
+            if certified:
+                value = min(certified, key=repr)  # deterministic pick
+                self._inner = WeakBaSplitFinalizeLeader(
+                    value=certified[value],
+                    recipients=self.recipients,
+                    session=f"{self.session}/wba",
+                    start_tick=VIEW_ROUNDS * self.num_views,
+                )
+        elif self._inner is not None:
+            self._inner.step(api)

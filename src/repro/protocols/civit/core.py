@@ -1,0 +1,514 @@
+"""Civit-style adaptive strong BA: certified inputs + the adaptive core.
+
+Reproduction of the *STRONG paradigm* of Civit, Gilbert, Guerraoui,
+Komatovic & Vidigueira, "Strong Byzantine Agreement with Adaptive Word
+Complexity" (arXiv:2308.03524): strong validity is reduced to **input
+certification** — a ``t+1``-threshold certificate on ``("civit-input",
+v)`` proves at least one *correct* process proposed ``v`` — and
+agreement/termination are delegated to an adaptive agreement core run
+over the certified values.  This package instantiates that paradigm on
+the repo's substrates:
+
+1. **Certification views** (``t + 1`` views, rotating certifiers with
+   the same silent-view discipline as Algorithm 2): a certifier holding
+   no input certificate solicits; every process answers with its
+   threshold share on its *own* input; the certifier combines any
+   value's ``t + 1`` shares and broadcasts the certificate.  A view
+   whose certifier already holds a certificate is **silent** — the
+   adaptivity argument for this layer is the paper's own silent-phase
+   accounting.
+2. **The shared adaptive weak BA** (Algorithm 3 of Cohen–Keidar–
+   Spiegelman, reused verbatim from :mod:`repro.core.weak_ba` — the
+   substrate both papers build on) run over :class:`CertifiedValue`
+   wrappers under :class:`CertifiedValidity`.
+3. **Resolution**: the decision is the certified underlying value.  The
+   *binary* strong BA (:func:`civit_strong_ba_protocol`) additionally
+   resolves a ``⊥`` outcome to ``RESOLUTION_VALUE`` — see below for why
+   that preserves strong validity — so it **never outputs ⊥**, unlike
+   Algorithm 5's fallback path or the Section-3 extension.
+
+Why the ``⊥ -> 0`` resolution is safe (binary domain, ``n = 2t + 1``):
+
+* If all correct processes propose the same ``v``, no certificate for
+  ``1 - v`` can ever exist (it would need a correct share), while
+  ``n - f >= t + 1`` matching shares make ``v`` certifiable and the
+  first correct certifier publishes it.  :class:`CertifiedValue`
+  compares by the *underlying value only*, so however many certificate
+  objects the adversary mints for ``v``, weak BA sees exactly one valid
+  value and unique validity forces it — ``⊥`` is unreachable in
+  unanimous runs.
+* ``⊥`` therefore implies the run was mixed, i.e. *both* binary values
+  were proposed by correct processes, and deciding the constant ``0``
+  is strong-valid and (being deterministic) agreement-preserving.
+
+Complexity: with ``f`` silent faults and unanimous (or ``t+1``-popular)
+inputs, at most one correct certification view is non-silent and the
+weak BA core is adaptive, so the bill is ``O(n(f+1))`` whenever ``f``
+is below the fallback threshold ``(n-t-1)/2`` — in particular it stays
+*linear* at ``f = 1``, where Algorithm 5's ``n``-of-``n`` decide
+certificate is already unreachable and its bill jumps to ``O(n^2)``.
+That differential is the content of
+``benchmarks/results/backend_adaptivity.json``.  In mixed runs where no
+value reaches ``t + 1`` correct shares, every correct certifier probes
+and the certification layer degrades to ``O(n^2)`` — the same regime as
+the Section-3 extension, and an honest fidelity gap against the exact
+STRONG protocol (whose pseudocode this module does not transcribe; see
+``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.config import ProcessId, RunParameters, SystemConfig
+from repro.core.validity import ValidityPredicate
+from repro.core.values import BOTTOM
+from repro.core.weak_ba import weak_ba_protocol
+from repro.crypto.certificates import (
+    CertificateCollector,
+    CryptoSuite,
+    QuorumCertificate,
+)
+from repro.crypto.threshold import PartialSignature
+from repro.errors import ConfigurationError
+from repro.runtime.context import ProcessContext
+from repro.runtime.envelope import Envelope
+from repro.runtime.pool import MessagePool
+
+VIEW_ROUNDS = 3
+"""Ticks per certification view: solicit, shares, certificate."""
+
+BINARY_VALUES = (0, 1)
+
+RESOLUTION_VALUE = 0
+"""The deterministic ⊥-resolution of the binary strong BA.  Only ever
+decided in mixed runs (see the module docstring), where both binary
+values were proposed by correct processes."""
+
+
+def input_label(session: str) -> str:
+    return f"civit-inp:{session}"
+
+
+def input_statement(value: object) -> tuple:
+    return ("civit-input", value)
+
+
+@dataclass(frozen=True)
+class CertifiedValue:
+    """A value together with its input certificate.
+
+    Equality, hashing, and — crucially — the canonical signing encoding
+    cover the *underlying value only*: the certificate rides along as a
+    non-field attribute.  Two certificates for the same value minted
+    from different share subsets therefore collapse into one weak-BA
+    value, which is what makes unique validity force the unanimous
+    value (no adversarial ``⊥`` via certificate multiplicity).
+    """
+
+    value: object
+
+    def with_certificate(self, certificate: QuorumCertificate) -> "CertifiedValue":
+        object.__setattr__(self, "_certificate", certificate)
+        return self
+
+    @property
+    def certificate(self) -> QuorumCertificate | None:
+        return getattr(self, "_certificate", None)
+
+    def words(self) -> int:
+        # One word for the value, one for the threshold certificate.
+        return 2
+
+    def __repr__(self) -> str:
+        return f"Certified({self.value!r})"
+
+
+class CertifiedValidity(ValidityPredicate):
+    """Valid iff the attached input certificate proves ``t+1`` processes
+    — hence at least one correct one — claimed the wrapped value as
+    their input."""
+
+    def __init__(self, suite: CryptoSuite, config: SystemConfig, session: str):
+        self._suite = suite
+        self._quorum = config.small_quorum
+        self._label = input_label(session)
+
+    def validate(self, value: object) -> bool:
+        if not isinstance(value, CertifiedValue):
+            return False
+        certificate = value.certificate
+        try:
+            return (
+                certificate is not None
+                and certificate.payload == input_statement(value.value)
+                and self._suite.verify_certificate(
+                    certificate, self._label, self._quorum
+                )
+            )
+        except Exception:
+            return False
+
+
+# ----------------------------------------------------------------------
+# Wire payloads of the certification views
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CivitSolicit:
+    """A certificate-less view certifier asks for input shares."""
+
+    session: str
+    view: int
+
+    def words(self) -> int:
+        return 1
+
+    def signatures(self) -> int:
+        return 1  # the certifier signs its solicitation
+
+
+@dataclass(frozen=True)
+class CivitInputShare:
+    """A process's threshold share on its *own* input statement."""
+
+    session: str
+    view: int
+    value: object
+    partial: PartialSignature
+
+    def words(self) -> int:
+        return 1
+
+    def signatures(self) -> int:
+        return self.partial.signatures()
+
+
+@dataclass(frozen=True)
+class CivitInputCert:
+    """A combined input certificate, broadcast by the view certifier."""
+
+    session: str
+    view: int
+    value: object
+    certificate: QuorumCertificate
+
+    def words(self) -> int:
+        return 1
+
+    def signatures(self) -> int:
+        return self.certificate.signatures()
+
+
+def _take_view(
+    pool: MessagePool, payload_type: type, session: str, view: int
+) -> list[Envelope]:
+    return pool.take_payloads(
+        payload_type,
+        lambda e: getattr(e.payload, "session", None) == session
+        and getattr(e.payload, "view", None) == view,
+    )
+
+
+def certification_views(
+    ctx: ProcessContext,
+    initial_value: object,
+    *,
+    session: str,
+    num_views: int,
+    pool: MessagePool,
+) -> Generator[None, None, CertifiedValue | None]:
+    """Run the certification layer; returns this process's certified
+    value (its own input, or the first valid certificate adopted) or
+    ``None`` when no certificate was observed."""
+    config = ctx.config
+    suite = ctx.suite
+    quorum = config.small_quorum
+    label = input_label(session)
+    validity = CertifiedValidity(suite, config, session)
+    certified: CertifiedValue | None = None
+
+    def adopt(view: int) -> CertifiedValue | None:
+        for envelope in pool.take_payloads(
+            CivitInputCert,
+            lambda e: getattr(e.payload, "session", None) == session,
+        ):
+            payload = envelope.payload
+            candidate = CertifiedValue(payload.value).with_certificate(
+                payload.certificate
+            )
+            if validity.validate(candidate):
+                ctx.emit("civit_certified", view=view)
+                return candidate
+        return None
+
+    for view in range(1, num_views + 1):
+        certifier = config.leader_of_phase(view)
+        is_certifier = ctx.pid == certifier
+
+        # Round 1: a certificate-less certifier solicits; holders of a
+        # certificate keep their view silent (the adaptivity argument).
+        if is_certifier and certified is None:
+            ctx.emit("civit_view_non_silent", view=view, certifier=certifier)
+            ctx.broadcast(CivitSolicit(session=session, view=view))
+        pool.extend((yield from ctx.sleep(1)))
+
+        # Round 2: answer the view's certifier with our own input share.
+        solicited = any(
+            e.sender == certifier
+            for e in _take_view(pool, CivitSolicit, session, view)
+        )
+        if solicited:
+            partial = suite.partial_for_certificate(
+                ctx.pid, label, quorum, input_statement(initial_value)
+            )
+            ctx.send(
+                certifier,
+                CivitInputShare(
+                    session=session,
+                    view=view,
+                    value=initial_value,
+                    partial=partial,
+                ),
+            )
+        pool.extend((yield from ctx.sleep(1)))
+
+        # Round 3: the certifier combines any t+1 matching shares.
+        if is_certifier and certified is None:
+            collectors: dict[object, CertificateCollector] = {}
+            for envelope in _take_view(pool, CivitInputShare, session, view):
+                share = envelope.payload
+                try:
+                    collector = collectors.get(share.value)
+                    if collector is None:
+                        collector = CertificateCollector(
+                            suite, label, quorum, input_statement(share.value)
+                        )
+                        collectors[share.value] = collector
+                    collector.add(share.partial)
+                except Exception:
+                    continue
+            for share_value, collector in collectors.items():
+                if collector.complete:
+                    ctx.broadcast(
+                        CivitInputCert(
+                            session=session,
+                            view=view,
+                            value=share_value,
+                            certificate=collector.certificate(),
+                        )
+                    )
+                    break
+        pool.extend((yield from ctx.sleep(1)))
+
+        if certified is None:
+            certified = adopt(view)
+
+    if certified is None:
+        certified = adopt(num_views)  # a last-tick broadcast still counts
+    return certified
+
+
+def civit_ba_protocol(
+    ctx: ProcessContext,
+    initial_value: object,
+    *,
+    session: str = "civit",
+    binary: bool,
+    num_views: int | None = None,
+    num_phases: int | None = None,
+    commit_quorum: int | None = None,
+    echo_fallback_certificate: bool = True,
+) -> Generator[None, None, object]:
+    """The shared core: certification views, then the adaptive weak BA
+    over certified values, then resolution.
+
+    ``binary=True`` is the strong BA (inputs restricted to ``{0, 1}``,
+    ``⊥`` resolved to :data:`RESOLUTION_VALUE`); ``binary=False`` is the
+    multivalued adaptive variant, where ``⊥`` remains a permitted
+    outcome exactly as in Definition 2.
+
+    ``commit_quorum`` and ``echo_fallback_certificate`` pass through to
+    the weak-BA core — they exist for the mutation harness
+    (``repro.mc.mutants``), not for production use.
+    """
+    if binary and initial_value not in BINARY_VALUES:
+        raise ConfigurationError(
+            f"civit strong BA is binary; got initial value {initial_value!r}"
+        )
+    with ctx.scope("civit_ba"):
+        config = ctx.config
+        views = num_views if num_views is not None else config.t + 1
+        phases = num_phases if num_phases is not None else config.n
+        pool = MessagePool()
+
+        certified = yield from certification_views(
+            ctx,
+            initial_value,
+            session=session,
+            num_views=views,
+            pool=pool,
+        )
+
+        validity = CertifiedValidity(ctx.suite, config, session)
+        ba_decision = yield from weak_ba_protocol(
+            ctx,
+            certified,
+            validity,
+            session=f"{session}/wba",
+            num_phases=phases,
+            commit_quorum=commit_quorum,
+            pool=pool,
+            echo_fallback_certificate=echo_fallback_certificate,
+        )
+
+        if isinstance(ba_decision, CertifiedValue):
+            decision: object = ba_decision.value
+        elif binary:
+            decision = RESOLUTION_VALUE
+        else:
+            decision = BOTTOM
+        ctx.emit("decided", value=repr(decision), session=session)
+        return decision
+
+
+def civit_strong_ba_protocol(
+    ctx: ProcessContext,
+    initial_value: int,
+    *,
+    session: str = "civit",
+    num_views: int | None = None,
+    num_phases: int | None = None,
+    commit_quorum: int | None = None,
+    echo_fallback_certificate: bool = True,
+) -> Generator[None, None, object]:
+    """Binary strong BA: never ``⊥``, strong validity in every run."""
+    return (
+        yield from civit_ba_protocol(
+            ctx,
+            initial_value,
+            session=session,
+            binary=True,
+            num_views=num_views,
+            num_phases=num_phases,
+            commit_quorum=commit_quorum,
+            echo_fallback_certificate=echo_fallback_certificate,
+        )
+    )
+
+
+def civit_adaptive_strong_ba_protocol(
+    ctx: ProcessContext,
+    initial_value: object,
+    *,
+    session: str = "civit-asba",
+    num_views: int | None = None,
+    num_phases: int | None = None,
+) -> Generator[None, None, object]:
+    """Multivalued variant: strong unanimity, ``⊥`` permitted
+    (Definition 2 semantics, comparable to the Section-3 extension)."""
+    return (
+        yield from civit_ba_protocol(
+            ctx,
+            initial_value,
+            session=session,
+            binary=False,
+            num_views=num_views,
+            num_phases=num_phases,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone simulator drivers (standard repo signature)
+# ----------------------------------------------------------------------
+
+
+def _run(
+    config: SystemConfig,
+    inputs: dict[ProcessId, Any],
+    *,
+    seed: int,
+    byzantine: dict[ProcessId, Any] | None,
+    params: RunParameters | None,
+    protocol_name: str,
+    factory,
+):
+    from repro.runtime.scheduler import Simulation
+
+    byzantine = byzantine or {}
+    params = params or RunParameters()
+    simulation = Simulation(
+        config, seed=seed, max_ticks=params.max_ticks,
+        fault_plan=params.fault_plan, observer=params.observer,
+        recovery=params.recovery,
+        synchrony=params.synchrony,
+    )
+    if params.recovery is not None:
+        params.recovery.describe(
+            protocol=protocol_name, num_phases=params.num_phases
+        )
+    for pid in config.processes:
+        if pid in byzantine:
+            simulation.add_byzantine(pid, byzantine[pid])
+        else:
+            value = inputs[pid]
+            if params.recovery is not None:
+                params.recovery.describe_process(pid, input=value)
+            simulation.add_process(pid, factory(value, params))
+    return simulation.run()
+
+
+def run_civit_strong_ba(
+    config: SystemConfig,
+    inputs: dict[ProcessId, int],
+    *,
+    seed: int = 0,
+    byzantine: dict[ProcessId, Any] | None = None,
+    params: RunParameters | None = None,
+):
+    """Standalone driver for the binary strong BA."""
+    for pid, value in inputs.items():
+        if value not in BINARY_VALUES:
+            raise ConfigurationError(
+                f"civit strong BA is binary; p{pid} proposes {value!r}"
+            )
+    return _run(
+        config,
+        inputs,
+        seed=seed,
+        byzantine=byzantine,
+        params=params,
+        protocol_name="civit_strong_ba",
+        factory=lambda value, p: (
+            lambda ctx, v=value: civit_strong_ba_protocol(
+                ctx, v, num_phases=p.num_phases
+            )
+        ),
+    )
+
+
+def run_civit_adaptive_strong_ba(
+    config: SystemConfig,
+    inputs: dict[ProcessId, Any],
+    *,
+    seed: int = 0,
+    byzantine: dict[ProcessId, Any] | None = None,
+    params: RunParameters | None = None,
+):
+    """Standalone driver for the multivalued adaptive variant."""
+    return _run(
+        config,
+        inputs,
+        seed=seed,
+        byzantine=byzantine,
+        params=params,
+        protocol_name="civit_adaptive_strong_ba",
+        factory=lambda value, p: (
+            lambda ctx, v=value: civit_adaptive_strong_ba_protocol(
+                ctx, v, num_phases=p.num_phases
+            )
+        ),
+    )

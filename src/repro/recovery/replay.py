@@ -256,6 +256,15 @@ def factory_from_meta(meta: dict) -> Callable:
         )
     builder = _PROTOCOLS.get(name)
     if builder is None:
+        # Backend packages register their builders when repro.protocols
+        # is imported; a WAL from a backend-dispatched run must replay
+        # without requiring the caller to pre-import anything.  The
+        # import is lazy here to keep replay importable from backend
+        # modules without a cycle.
+        import repro.protocols  # noqa: F401
+
+        builder = _PROTOCOLS.get(name)
+    if builder is None:
         raise RecoveryError(
             f"no replay builder registered for protocol {name!r} "
             f"(known: {sorted(_PROTOCOLS)})"

@@ -32,7 +32,8 @@ _INDEX_MIX = 0x9E3779B1
 
 WEAK_BA = "weak_ba"
 SMR = "smr"
-PROTOCOLS = (WEAK_BA, SMR)
+CIVIT_SBA = "civit_strong_ba"
+PROTOCOLS = (WEAK_BA, SMR, CIVIT_SBA)
 
 DEFAULT_TICK = 0.03
 """Round length for soak instances — generous enough that localhost
@@ -59,6 +60,12 @@ class ChaosProfile:
     drop: tuple[float, float]
     max_delay: float
     n_choices: tuple[int, ...]
+    civit_weight: float = 0.0
+    """Probability a non-SMR instance runs the civit strong BA instead
+    of the cohen weak BA.  **Stream compatibility:** the derivation only
+    consumes randomness for this pick when the weight is positive, so
+    every ``(master_seed, index)`` stream of the pre-backend profiles
+    replays bit-for-bit (``tests/test_soak.py`` pins this)."""
 
 
 PROFILES: dict[str, ChaosProfile] = {
@@ -87,6 +94,20 @@ PROFILES: dict[str, ChaosProfile] = {
         drop=(0.0, 0.0),
         max_delay=0.4,
         n_choices=(4, 5),
+    ),
+    "backends": ChaosProfile(
+        name="backends",
+        smr_weight=0.2,
+        crash_weight=0.35,
+        reset_weight=0.35,
+        lossy_weight=0.0,
+        reorder=(0.1, 0.4),
+        duplicate=(0.0, 0.25),
+        delay=(0.0, 0.3),
+        drop=(0.0, 0.0),
+        max_delay=0.4,
+        n_choices=(4, 5),
+        civit_weight=0.5,
     ),
     "heavy": ChaosProfile(
         name="heavy",
@@ -144,6 +165,12 @@ def derive_instance(
     """The pure spec-derivation function: same arguments, same spec."""
     rng = derive_rng(master_seed, _SOAK_TAG ^ (index * _INDEX_MIX))
     protocol = SMR if rng.random() < profile.smr_weight else WEAK_BA
+    if (
+        profile.civit_weight > 0
+        and protocol == WEAK_BA
+        and rng.random() < profile.civit_weight
+    ):
+        protocol = CIVIT_SBA
     n = profile.n_choices[rng.randrange(len(profile.n_choices))]
     t = (n - 1) // 2
     seed = rng.randrange(2**31)

@@ -35,7 +35,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.config import RunParameters, SystemConfig
-from repro.soak.plan import SMR, WEAK_BA, InstanceSpec
+from repro.soak.plan import CIVIT_SBA, SMR, WEAK_BA, InstanceSpec
 
 TICK_ESCALATION = (1.0, 2.0, 4.0)
 """Tick multipliers tried before a billed-vs-predicted mismatch is
@@ -94,6 +94,13 @@ def _validity_predicate(value: object) -> bool:
     return isinstance(value, str)
 
 
+def _binary_input(proposal: str) -> int:
+    """Map a derived weak-BA proposal string onto the civit binary
+    domain (the spec derivation predates backends; reusing its strings
+    keeps the replay contract to ``(master_seed, index, profile)``)."""
+    return 0 if proposal == "v-even" else 1
+
+
 def _run_sim(spec: InstanceSpec, wal_dir: str):
     """The oracle run: tick simulator, same seed and fault plan."""
     from repro.core.validity import ExternalValidity
@@ -116,6 +123,15 @@ def _run_sim(spec: InstanceSpec, wal_dir: str):
             lambda suite, cfg: ExternalValidity(_validity_predicate),
             seed=spec.seed,
             params=params,
+        )
+    if spec.protocol == CIVIT_SBA:
+        from repro.protocols.civit import run_civit_strong_ba
+
+        inputs = {
+            pid: _binary_input(spec.inputs[pid]) for pid in config.processes
+        }
+        return run_civit_strong_ba(
+            config, inputs, seed=spec.seed, params=params
         )
     from repro.apps.smr import run_smr
 
@@ -148,6 +164,17 @@ def _run_tcp(spec: InstanceSpec, tick_duration: float, wal_dir: str):
                 lambda ctx, value=spec.inputs[pid]: weak_ba_protocol(
                     ctx, value, validity
                 )
+            )
+            for pid in config.processes
+        }
+    elif spec.protocol == CIVIT_SBA:
+        from repro.protocols.civit import civit_strong_ba_protocol
+
+        factories = {
+            pid: (
+                lambda ctx, value=_binary_input(
+                    spec.inputs[pid]
+                ): civit_strong_ba_protocol(ctx, value)
             )
             for pid in config.processes
         }

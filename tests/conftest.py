@@ -18,6 +18,25 @@ def test_seed() -> int:
     return int(os.environ.get("REPRO_TEST_SEED", "7"))
 
 
+def _backend_names() -> list[str]:
+    """Backends the suite parametrizes over.  CI's backend-matrix leg
+    narrows this with ``REPRO_BACKENDS=cohen`` / ``=civit`` to attribute
+    a failure to one stack; locally both run."""
+    names = os.environ.get("REPRO_BACKENDS", "cohen,civit")
+    return [name.strip() for name in names.split(",") if name.strip()]
+
+
+@pytest.fixture(params=_backend_names())
+def backend(request):
+    """One registered protocol backend (the shared Protocol API).  Test
+    bodies written against this fixture run verbatim for every stack;
+    backend-specific expectations come from the backend's capability
+    flags, never from per-backend test copies."""
+    import repro.protocols as protocols
+
+    return protocols.get_backend(request.param)
+
+
 @pytest.fixture
 def config7() -> SystemConfig:
     """The workhorse deployment: n=7, t=3 (optimal resilience)."""

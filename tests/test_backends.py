@@ -1,0 +1,129 @@
+"""The backend registry itself, and the refactor's no-op guarantee.
+
+The Protocol API is a pure indirection: dispatching through
+``get_backend("cohen")`` must produce byte-identical traces
+(``Trace.canonical()``) and word bills to importing the protocol
+modules directly — the acceptance bar for moving every consumer onto
+the registry without re-validating five subsystems."""
+
+import pytest
+
+import repro.protocols as protocols
+from repro.config import SystemConfig
+from repro.core.adaptive_strong_ba import run_adaptive_strong_ba
+from repro.core.strong_ba import run_strong_ba
+from repro.core.validity import ExternalValidity
+from repro.core.weak_ba import run_weak_ba
+from repro.errors import ConfigurationError
+from repro.protocols.base import Backend
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert protocols.backend_names() == ("civit", "cohen")
+
+    def test_get_backend_roundtrip(self):
+        for name in protocols.backend_names():
+            assert protocols.get_backend(name).name == name
+
+    def test_unknown_backend_lists_known_sorted(self):
+        with pytest.raises(ConfigurationError) as err:
+            protocols.get_backend("nope")
+        assert "'nope'" in str(err.value)
+        assert "['civit', 'cohen']" in str(err.value)
+
+    def test_reregistration_must_be_idempotent(self):
+        cohen = protocols.get_backend("cohen")
+        assert protocols.register_backend(cohen) is cohen  # same object: ok
+        impostor = Backend(
+            name="cohen",
+            title="impostor",
+            paper="none",
+            run_weak_ba=run_weak_ba,
+            run_strong_ba=run_strong_ba,
+            run_adaptive_strong_ba=run_adaptive_strong_ba,
+            weak_ba_protocol=run_weak_ba,
+            strong_ba_protocol=run_strong_ba,
+            adaptive_strong_ba_protocol=run_adaptive_strong_ba,
+        )
+        with pytest.raises(ConfigurationError):
+            protocols.register_backend(impostor)
+
+    def test_backend_name_must_be_identifier(self):
+        with pytest.raises(ConfigurationError):
+            Backend(
+                name="not a name",
+                title="x",
+                paper="y",
+                run_weak_ba=run_weak_ba,
+                run_strong_ba=run_strong_ba,
+                run_adaptive_strong_ba=run_adaptive_strong_ba,
+                weak_ba_protocol=run_weak_ba,
+                strong_ba_protocol=run_strong_ba,
+                adaptive_strong_ba_protocol=run_adaptive_strong_ba,
+            )
+
+    def test_replay_builders_registered_on_import(self):
+        from repro.recovery.replay import _PROTOCOLS
+
+        for backend in protocols.all_backends():
+            for name in backend.replay_builders:
+                assert name in _PROTOCOLS
+
+    def test_every_backend_publishes_envelopes(self):
+        config = SystemConfig.with_optimal_resilience(7)
+        for backend in protocols.all_backends():
+            assert backend.strong_ba_tick_bound(config) > 0
+            budget_0 = backend.strong_ba_word_budget(config, 0)
+            budget_t = backend.strong_ba_word_budget(config, config.t)
+            assert 0 < budget_0 <= budget_t
+
+    def test_shared_core_claim_is_true(self):
+        """civit declares it reuses cohen's weak BA; hold it to that."""
+        civit = protocols.get_backend("civit")
+        cohen = protocols.get_backend(civit.weak_ba_shares_core_with)
+        assert civit.run_weak_ba is cohen.run_weak_ba
+        assert civit.weak_ba_protocol is cohen.weak_ba_protocol
+
+
+class TestDispatchIsByteIdentical:
+    """Same seed, same inputs: registry dispatch vs direct import."""
+
+    def test_strong_ba(self, config7, test_seed):
+        inputs = {p: p % 2 for p in config7.processes}
+        direct = run_strong_ba(config7, inputs, seed=test_seed)
+        dispatched = protocols.get_backend("cohen").run_strong_ba(
+            config7, inputs, seed=test_seed
+        )
+        assert dispatched.trace.canonical() == direct.trace.canonical()
+        assert dispatched.correct_words == direct.correct_words
+
+    def test_weak_ba(self, config7, test_seed):
+        validity = lambda suite, cfg: ExternalValidity(
+            lambda v: isinstance(v, str)
+        )
+        inputs = {p: f"v{p % 2}" for p in config7.processes}
+        direct = run_weak_ba(config7, inputs, validity, seed=test_seed)
+        dispatched = protocols.get_backend("cohen").run_weak_ba(
+            config7, inputs, validity, seed=test_seed
+        )
+        assert dispatched.trace.canonical() == direct.trace.canonical()
+        assert dispatched.correct_words == direct.correct_words
+
+    def test_adaptive_strong_ba(self, config7, test_seed):
+        inputs = {p: "V" for p in config7.processes}
+        direct = run_adaptive_strong_ba(config7, inputs, seed=test_seed)
+        dispatched = protocols.get_backend("cohen").run_adaptive_strong_ba(
+            config7, inputs, seed=test_seed
+        )
+        assert dispatched.trace.canonical() == direct.trace.canonical()
+        assert dispatched.correct_words == direct.correct_words
+
+    def test_civit_dispatch_deterministic(self, config7, test_seed):
+        """The new backend honors the same determinism contract."""
+        civit = protocols.get_backend("civit")
+        inputs = {p: p % 2 for p in config7.processes}
+        first = civit.run_strong_ba(config7, inputs, seed=test_seed)
+        second = civit.run_strong_ba(config7, inputs, seed=test_seed)
+        assert first.trace.canonical() == second.trace.canonical()
+        assert first.correct_words == second.correct_words

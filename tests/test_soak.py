@@ -240,3 +240,67 @@ class TestFleet:
         assert outcome.ok, render_outcome(outcome)
         assert outcome.crashes > 0 and outcome.rejoins > 0
         assert outcome.words_billed == outcome.words_predicted
+
+
+class TestCivitBackendDerivation:
+    """The civit backend rides into the soak behind ``civit_weight``:
+    the ``backends`` profile mixes it in, derivation stays a pure
+    function of ``(master_seed, index, profile)``, and — the
+    stream-compatibility pin — profiles with ``civit_weight == 0``
+    derive exactly what they derived before the field existed."""
+
+    BACKENDS = PROFILES["backends"]
+
+    def _first_civit_spec(self, master_seed=11, need_crash=False):
+        for index in range(500):
+            spec = derive_instance(master_seed, index, self.BACKENDS)
+            if spec.protocol != "civit_strong_ba":
+                continue
+            if need_crash and not (spec.plan and spec.plan.crashes):
+                continue
+            return spec
+        raise AssertionError("no civit instance in 500 derivations")
+
+    def test_backends_profile_mixes_in_civit(self):
+        protocols = {
+            derive_instance(7, i, self.BACKENDS).protocol for i in range(40)
+        }
+        assert "civit_strong_ba" in protocols
+        assert "weak_ba" in protocols
+
+    def test_civit_spec_rederives_identically(self):
+        spec = self._first_civit_spec()
+        assert (
+            derive_instance(spec.master_seed, spec.index, self.BACKENDS)
+            == spec
+        )
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_zero_weight_profiles_unperturbed(self):
+        """The extra protocol draw happens only when civit_weight > 0,
+        so the pre-existing profiles' derivation streams are untouched —
+        their replay artifacts stay valid across this change."""
+        for profile in (CALM, MIXED, PROFILES["heavy"]):
+            assert profile.civit_weight == 0.0
+
+    def test_extra_draw_gated_on_weak_ba_branch(self):
+        """Zeroing civit_weight must leave every instance that did not
+        draw weak BA (hence never consumed the extra random) identical
+        — the gating that makes the field stream-compatible."""
+        twin = dataclasses.replace(self.BACKENDS, civit_weight=0.0)
+        smr_seen = 0
+        for index in range(60):
+            original = derive_instance(7, index, self.BACKENDS)
+            zeroed = derive_instance(7, index, twin)
+            if original.protocol == "smr":
+                assert original == zeroed
+                smr_seen += 1
+        assert smr_seen > 0
+
+    def test_civit_crash_instance_audits_clean(self):
+        spec = self._first_civit_spec(need_crash=True)
+        facts = run_instance(spec)
+        assert facts.error is None
+        assert facts.crashes >= 1
+        assert SoakAuditor(start_index=spec.index).submit(facts) == []
+        assert facts.words_billed == facts.words_predicted > 0

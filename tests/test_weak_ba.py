@@ -1,4 +1,9 @@
-"""Tests for adaptive weak BA (Algorithms 3 + 4)."""
+"""Tests for adaptive weak BA (Algorithms 3 + 4), parametrized over
+every backend.  Both registered backends currently share the same
+Algorithm-3 core (``civit.weak_ba_shares_core_with == "cohen"``), so
+the second parametrization is a dispatch-parity check on the Protocol
+API rather than a second implementation — but any future backend with
+its own weak BA inherits this whole file for free."""
 
 import pytest
 
@@ -10,7 +15,6 @@ from repro.adversary.protocol_attacks import (
 from repro.config import RunParameters, SystemConfig
 from repro.core.validity import ExternalValidity
 from repro.core.values import BOTTOM
-from repro.core.weak_ba import run_weak_ba
 
 
 def string_validity(suite, config):
@@ -19,16 +23,16 @@ def string_validity(suite, config):
 
 class TestUnanimousRuns:
     @pytest.mark.parametrize("n", [3, 5, 7, 9])
-    def test_failure_free_decides_common_value(self, n):
+    def test_failure_free_decides_common_value(self, backend, n):
         config = SystemConfig.with_optimal_resilience(n)
-        result = run_weak_ba(
+        result = backend.run_weak_ba(
             config, {p: "v" for p in config.processes}, string_validity
         )
         assert result.unanimous_decision() == "v"
         assert not result.fallback_was_used()
 
-    def test_decision_happens_in_first_phase(self, config7):
-        result = run_weak_ba(
+    def test_decision_happens_in_first_phase(self, backend, config7):
+        result = backend.run_weak_ba(
             config7, {p: "v" for p in config7.processes}, string_validity
         )
         phases = [
@@ -36,69 +40,79 @@ class TestUnanimousRuns:
         ]
         assert phases and set(phases) == {1}
 
-    def test_exactly_one_non_silent_phase_when_failure_free(self, config7):
-        result = run_weak_ba(
+    def test_exactly_one_non_silent_phase_when_failure_free(
+        self, backend, config7
+    ):
+        result = backend.run_weak_ba(
             config7, {p: "v" for p in config7.processes}, string_validity
         )
         assert result.trace.count("phase_non_silent") == 1
 
 
 class TestUniqueValidity:
-    def test_unanimous_valid_value_wins(self, config7):
+    def test_unanimous_valid_value_wins(self, backend, config7):
         """With a single valid proposal in the run, it is the only
         possible decision (unique validity, Definition 3)."""
-        result = run_weak_ba(
+        result = backend.run_weak_ba(
             config7, {p: "only" for p in config7.processes}, string_validity
         )
         assert result.unanimous_decision() == "only"
 
-    def test_decision_is_valid_or_bottom(self, config7):
+    def test_decision_is_valid_or_bottom(self, backend, config7):
         inputs = {p: f"v{p % 3}" for p in config7.processes}
-        result = run_weak_ba(config7, inputs, string_validity)
+        result = backend.run_weak_ba(config7, inputs, string_validity)
         decision = result.unanimous_decision()
         assert decision == BOTTOM or (
             isinstance(decision, str) and not decision.startswith("!")
         )
 
-    def test_bottom_implies_multiple_valid_values(self, config7):
+    def test_bottom_implies_multiple_valid_values(self, backend, config7):
         """Contrapositive check across seeds: whenever ⊥ is decided, the
         run indeed contained more than one valid proposal."""
         for seed in range(4):
             inputs = {p: f"v{p % 2}" for p in config7.processes}
-            result = run_weak_ba(config7, inputs, string_validity, seed=seed)
+            result = backend.run_weak_ba(
+                config7, inputs, string_validity, seed=seed
+            )
             decision = result.unanimous_decision()
             if decision == BOTTOM:
                 assert len(set(inputs.values())) > 1
 
 
 class TestAdaptivityAndLemma6:
-    def test_below_threshold_no_fallback(self, config7):
+    def test_below_threshold_no_fallback(self, backend, config7):
         """Lemma 6: f < (n-t-1)/2 means the fallback never runs.
         For n=7, t=3 the threshold is 1.5, so f=1 must stay adaptive."""
         byzantine = {3: SilentBehavior()}
         inputs = {p: "v" for p in config7.processes if p not in byzantine}
-        result = run_weak_ba(config7, inputs, string_validity, byzantine=byzantine)
+        result = backend.run_weak_ba(
+            config7, inputs, string_validity, byzantine=byzantine
+        )
         assert result.unanimous_decision() == "v"
         assert not result.fallback_was_used()
 
-    def test_above_threshold_fallback_runs_and_agrees(self, config7):
+    def test_above_threshold_fallback_runs_and_agrees(self, backend, config7):
         byzantine = {p: SilentBehavior() for p in (1, 3, 5)}
         inputs = {p: "v" for p in config7.processes if p not in byzantine}
-        result = run_weak_ba(config7, inputs, string_validity, byzantine=byzantine)
+        result = backend.run_weak_ba(
+            config7, inputs, string_validity, byzantine=byzantine
+        )
         assert result.unanimous_decision() == "v"
         assert result.fallback_was_used()
 
-    def test_larger_network_threshold(self):
+    def test_larger_network_threshold(self, backend):
         """n=13, t=6: threshold (n-t-1)/2 = 3; f=2 adaptive, f=4 not."""
         config = SystemConfig.with_optimal_resilience(13)
         for f, expect_fallback in ((2, False), (4, True)):
             byzantine = {p: SilentBehavior() for p in range(1, f + 1)}
             inputs = {p: "v" for p in config.processes if p not in byzantine}
-            result = run_weak_ba(config, inputs, string_validity, byzantine=byzantine)
+            result = backend.run_weak_ba(
+                config, inputs, string_validity, byzantine=byzantine
+            )
             assert result.unanimous_decision() == "v"
             assert result.fallback_was_used() == expect_fallback
 
-    def test_words_adaptive_under_teasing_leaders(self, config7):
+    def test_words_adaptive_under_teasing_leaders(self, backend):
         """Byzantine leaders that propose-and-abandon cost O(n) honest
         words each — words must grow with f but stay far below n^2
         (while f is below the fallback threshold)."""
@@ -109,7 +123,9 @@ class TestAdaptivityAndLemma6:
                 p: WeakBaTeasingLeader(value="tease") for p in range(1, f + 1)
             }
             inputs = {p: "v" for p in config.processes if p not in byzantine}
-            result = run_weak_ba(config, inputs, string_validity, byzantine=byzantine)
+            result = backend.run_weak_ba(
+                config, inputs, string_validity, byzantine=byzantine
+            )
             assert result.unanimous_decision() == "v"
             assert not result.fallback_was_used()
             words[f] = result.correct_words
@@ -118,7 +134,7 @@ class TestAdaptivityAndLemma6:
 
 
 class TestSplitFinalize:
-    def test_split_decisions_repaired_by_help_round(self, config7):
+    def test_split_decisions_repaired_by_help_round(self, backend, config7):
         """A Byzantine leader finalizes to a strict subset; the rest
         must catch up via help answers, and everyone agrees."""
         byzantine = {
@@ -127,10 +143,12 @@ class TestSplitFinalize:
             )
         }
         inputs = {p: "v" for p in config7.processes if p != 1}
-        result = run_weak_ba(config7, inputs, string_validity, byzantine=byzantine)
+        result = backend.run_weak_ba(
+            config7, inputs, string_validity, byzantine=byzantine
+        )
         assert result.unanimous_decision() == "v"
 
-    def test_split_with_conflicting_later_leaders(self, config7):
+    def test_split_with_conflicting_later_leaders(self, backend, config7):
         """After a split finalize, later correct leaders propose their
         own values; Lemma 15's commit machinery must keep the finalize
         value unique."""
@@ -142,23 +160,27 @@ class TestSplitFinalize:
         inputs = {
             p: f"v{p}" for p in config7.processes if p != 1
         }  # all distinct, all valid
-        result = run_weak_ba(config7, inputs, string_validity, byzantine=byzantine)
+        result = backend.run_weak_ba(
+            config7, inputs, string_validity, byzantine=byzantine
+        )
         decision = result.unanimous_decision()
         assert decision == "v-split" or decision == BOTTOM or isinstance(decision, str)
 
 
 class TestRobustness:
-    def test_garbage_spam_does_not_break_agreement(self, config7):
+    def test_garbage_spam_does_not_break_agreement(self, backend, config7):
         byzantine = {2: GarbageSpammer(), 6: GarbageSpammer(every=2)}
         inputs = {p: "v" for p in config7.processes if p not in byzantine}
-        result = run_weak_ba(config7, inputs, string_validity, byzantine=byzantine)
+        result = backend.run_weak_ba(
+            config7, inputs, string_validity, byzantine=byzantine
+        )
         assert result.unanimous_decision() == "v"
 
-    def test_pseudocode_phase_count_variant(self, config7):
+    def test_pseudocode_phase_count_variant(self, backend, config7):
         """The t+1-phase variant (Algorithm 3 as printed) still reaches
         agreement and termination (DESIGN.md fidelity note 1)."""
         params = RunParameters(num_phases=config7.t + 1)
-        result = run_weak_ba(
+        result = backend.run_weak_ba(
             config7,
             {p: "v" for p in config7.processes},
             string_validity,
@@ -166,8 +188,8 @@ class TestRobustness:
         )
         assert result.unanimous_decision() == "v"
 
-    def test_all_correct_emit_decided(self, config7):
-        result = run_weak_ba(
+    def test_all_correct_emit_decided(self, backend, config7):
+        result = backend.run_weak_ba(
             config7, {p: "v" for p in config7.processes}, string_validity
         )
         deciders = {e.pid for e in result.trace.named("decided")}
